@@ -1,0 +1,43 @@
+"""Ablation benchmark: MILP solver backends on the accuracy-scaling problem.
+
+DESIGN.md calls out the solver substrate as a substitution for Gurobi; this
+ablation quantifies what that substitution costs by solving the same
+accuracy-scaling MILP with the HiGHS backend, the pure-Python branch and
+bound, and the greedy LP-rounding heuristic, and comparing both runtime and
+achieved objective (expected system accuracy).
+"""
+
+import pytest
+
+from repro.core.allocation import build_accuracy_scaling_model, AllocationProblem
+from repro.solver import BranchAndBoundSolver, GreedyRoundingSolver, ScipyMilpBackend
+from repro.zoo import linear_pipeline
+
+
+@pytest.fixture(scope="module")
+def ablation_model():
+    # A mid-size synthetic pipeline keeps the pure-Python backends tractable
+    # while preserving the structure of the real allocation MILP.
+    pipeline = linear_pipeline(num_tasks=2, variants_per_task=3, latency_slo_ms=300.0)
+    problem = AllocationProblem(pipeline, num_workers=12, latency_slo_ms=300.0, utilization_target=1.0)
+    demand = problem.max_supported_demand(restrict_to_best=True).max_demand_qps * 1.3
+    return build_accuracy_scaling_model(problem, demand)
+
+
+def test_solver_backend_scipy_highs(benchmark, ablation_model):
+    solution = benchmark.pedantic(ScipyMilpBackend().solve, args=(ablation_model,), rounds=3, iterations=1)
+    assert solution.is_optimal
+
+
+def test_solver_backend_branch_and_bound(benchmark, ablation_model):
+    solver = BranchAndBoundSolver(relaxation="scipy", max_nodes=5000, time_limit=30.0)
+    solution = benchmark.pedantic(solver.solve, args=(ablation_model,), rounds=1, iterations=1)
+    assert solution.is_optimal
+
+
+def test_solver_backend_greedy_rounding(benchmark, ablation_model):
+    reference = ScipyMilpBackend().solve(ablation_model)
+    solution = benchmark.pedantic(GreedyRoundingSolver().solve, args=(ablation_model,), rounds=3, iterations=1)
+    assert solution.is_optimal
+    # The heuristic must stay within 10% of the optimal system accuracy.
+    assert solution.objective >= reference.objective - 0.1 * abs(reference.objective)

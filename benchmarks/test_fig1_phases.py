@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 1 (hardware -> accuracy scaling capacity phases)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig1_phases
+
+
+def test_fig1_capacity_phases(benchmark):
+    result = run_once(benchmark, fig1_phases.main, num_points=8)
+    # Shape checks from the paper: accuracy scaling extends capacity well past
+    # hardware scaling alone, and the non-root task degrades before the root.
+    assert result.capacity_gain_max > 2.0
+    assert result.capacity_gain_phase2 > 1.5
+    assert result.phase2_capacity_qps >= result.hardware_capacity_qps
+    phases = [p.phase for p in sorted(result.points, key=lambda p: p.demand_qps)]
+    assert phases == sorted(phases)

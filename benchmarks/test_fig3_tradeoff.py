@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 3 (EfficientNet accuracy/throughput trade-off)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig3_tradeoff
+
+
+def test_fig3_accuracy_throughput_tradeoff(benchmark):
+    result = run_once(benchmark, fig3_tradeoff.main, batch_size=8)
+    assert result.is_monotone_tradeoff
+    assert len(result.points) == 8
+    accuracies = [p.raw_accuracy for p in result.points]
+    assert max(accuracies) - min(accuracies) > 5.0  # the paper's ~76-85% span

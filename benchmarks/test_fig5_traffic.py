@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 5 (end-to-end comparison, traffic-analysis pipeline)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig5_traffic
+
+
+def test_fig5_traffic_analysis_comparison(benchmark):
+    result = run_once(benchmark, fig5_traffic.main, duration_s=90)
+    loki = result.runs["loki"]
+    inferline = result.runs["inferline"]
+    proteus = result.runs["proteus"]
+    # Who-wins shape of the paper: Loki violates SLOs least, the cluster's
+    # effective capacity grows well past hardware scaling alone, and Loki
+    # sheds servers off-peak while Proteus keeps the whole cluster busy.
+    assert loki.slo_violation_ratio < inferline.slo_violation_ratio
+    assert loki.slo_violation_ratio < proteus.slo_violation_ratio
+    assert result.effective_capacity_gain > 2.0
+    assert result.violation_reduction_vs_proteus > 2.0
+    assert result.off_peak_server_saving > 1.0

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 6 (end-to-end comparison, social-media pipeline)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig6_social
+
+
+def test_fig6_social_media_comparison(benchmark):
+    result = run_once(benchmark, fig6_social.main, duration_s=90)
+    loki = result.runs["loki"]
+    assert loki.slo_violation_ratio < result.runs["inferline"].slo_violation_ratio
+    assert loki.slo_violation_ratio < result.runs["proteus"].slo_violation_ratio
+    assert result.effective_capacity_gain > 2.0
+    # Loki sacrifices only modest accuracy at peak (paper: ~10%).
+    assert result.accuracy_sacrifice < 0.30

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 7 (load-balancer early-dropping ablation)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig7_ablation
+
+
+def test_fig7_load_balancer_ablation(benchmark):
+    result = run_once(benchmark, fig7_ablation.main, duration_s=60)
+    ratios = result.violation_ratio
+    assert set(ratios) == set(fig7_ablation.ABLATION_ORDER)
+    # The paper's headline: early dropping with opportunistic rerouting is the
+    # most effective mechanism; it must never be the worst of the four.
+    assert ratios["opportunistic_rerouting"] <= max(ratios.values())
+    assert ratios["opportunistic_rerouting"] <= ratios["no_early_dropping"] + 0.05

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 8 (sensitivity to the latency SLO)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig8_slo_sweep
+
+
+def test_fig8_slo_sensitivity(benchmark):
+    result = run_once(benchmark, fig8_slo_sweep.main, slos_ms=(200.0, 300.0, 400.0), duration_s=60)
+    assert len(result.points) == 3
+    # Looser SLOs must not perform worse on the violation metric (allowing a
+    # small tolerance for simulation noise).
+    tightest = result.points[0]
+    loosest = result.points[-1]
+    assert loosest.slo_violation_ratio <= tightest.slo_violation_ratio + 0.05
+    assert loosest.mean_accuracy >= tightest.mean_accuracy - 0.05
+    assert result.min_feasible_slo_ms > 0

@@ -1,0 +1,45 @@
+"""Benchmark: Section 6.5 runtime overheads of the Resource Manager and Load Balancer.
+
+Unlike the figure-level benchmarks these use pytest-benchmark's normal
+multi-round timing, since a single MILP solve / routing pass is exactly the
+quantity the paper reports (~500 ms and ~0.15 ms respectively).
+"""
+
+import pytest
+
+from repro.core.allocation import AllocationProblem
+from repro.core.load_balancer import MostAccurateFirst, workers_from_plan
+from repro.zoo import social_media_pipeline, traffic_analysis_pipeline
+
+
+@pytest.fixture(scope="module")
+def traffic_setup():
+    pipeline = traffic_analysis_pipeline(latency_slo_ms=250.0)
+    problem = AllocationProblem(pipeline, num_workers=20, latency_slo_ms=250.0)
+    capacity = problem.max_supported_demand().max_demand_qps
+    plan = problem.solve(capacity * 0.6)
+    workers = workers_from_plan(plan, pipeline)
+    return pipeline, problem, plan, workers, capacity
+
+
+def test_resource_manager_milp_traffic(benchmark, traffic_setup):
+    """Two-step MILP solve for the traffic-analysis pipeline (paper: ~500 ms)."""
+    pipeline, problem, _, _, capacity = traffic_setup
+    plan = benchmark.pedantic(problem.solve, args=(capacity * 0.6,), rounds=3, iterations=1, warmup_rounds=0)
+    assert plan.feasible
+
+
+def test_resource_manager_milp_social(benchmark):
+    pipeline = social_media_pipeline(latency_slo_ms=250.0)
+    problem = AllocationProblem(pipeline, num_workers=20, latency_slo_ms=250.0)
+    capacity = problem.max_supported_demand().max_demand_qps
+    plan = benchmark.pedantic(problem.solve, args=(capacity * 0.6,), rounds=3, iterations=1, warmup_rounds=0)
+    assert plan.feasible
+
+
+def test_load_balancer_most_accurate_first(benchmark, traffic_setup):
+    """MostAccurateFirst routing-table generation (paper: ~0.15 ms)."""
+    pipeline, _, plan, workers, capacity = traffic_setup
+    algorithm = MostAccurateFirst(pipeline)
+    routing = benchmark(algorithm.build, workers, capacity * 0.6)
+    assert not routing.frontend_table.is_empty()

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate the Section 6.2 simulator-validation comparison."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import validation
+
+
+def test_simulator_validation(benchmark):
+    result = run_once(benchmark, validation.main, demands_qps=(150.0, 500.0), duration_s=20)
+    # The paper reports <2% differences between prototype and simulator; our
+    # analytic-vs-simulated counterpart should be of the same order.
+    assert result.mean_accuracy_difference < 0.05
+    assert result.mean_violation_ratio < 0.10
+    assert result.mean_worker_difference_ratio < 0.25

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: provision and route an inference pipeline with Loki.
+
+This example builds the paper's traffic-analysis pipeline (YOLOv5 object
+detection fanning out to EfficientNet car classification and VGG facial
+recognition), asks the Loki control plane for an allocation plan at two demand
+levels -- one the cluster can serve at full accuracy (hardware scaling) and
+one it cannot (accuracy scaling) -- and prints the resulting plans and routing
+tables.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import Controller, ControllerConfig
+from repro.core.allocation import AllocationProblem
+from repro.zoo import traffic_analysis_pipeline
+
+
+def describe_routing(routing, pipeline):
+    print("  frontend routing (root task):")
+    for entry in routing.frontend_table.entries(pipeline.root):
+        print(f"    {entry.worker_id:<45} p={entry.probability:.2f} acc={entry.accuracy:.2f}")
+    any_worker = next(iter(routing.worker_tables))
+    table = routing.worker_tables[any_worker]
+    if table.destination_tasks():
+        print(f"  downstream routing for {any_worker}:")
+        for task in table.destination_tasks():
+            for entry in table.entries(task):
+                print(f"    -> {entry.worker_id:<45} p={entry.probability:.2f}")
+
+
+def main() -> None:
+    pipeline = traffic_analysis_pipeline(latency_slo_ms=250.0)
+    print(f"pipeline: {pipeline.name}, tasks={list(pipeline.tasks)}, SLO={pipeline.latency_slo_ms:.0f} ms")
+
+    # How much can 20 workers serve with and without accuracy scaling?
+    problem = AllocationProblem(pipeline, num_workers=20, latency_slo_ms=250.0)
+    hardware_capacity = problem.max_supported_demand(restrict_to_best=True).max_demand_qps
+    full_capacity = problem.max_supported_demand().max_demand_qps
+    print(f"hardware-scaling capacity: {hardware_capacity:.0f} QPS")
+    print(f"accuracy-scaling capacity: {full_capacity:.0f} QPS ({full_capacity / hardware_capacity:.1f}x)\n")
+
+    for demand in (0.5 * hardware_capacity, 1.8 * hardware_capacity):
+        print(f"=== demand {demand:.0f} QPS ===")
+        controller = Controller(pipeline, ControllerConfig(num_workers=20, latency_slo_ms=250.0))
+        controller.report_demand(0.0, demand)
+        plan, routing = controller.step(now_s=0.0, force=True)
+        plan = plan or controller.current_plan
+        routing = routing or controller.current_routing
+        print(plan.summary())
+        describe_routing(routing, pipeline)
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""SLO sensitivity: how the latency deadline shapes accuracy and violations.
+
+Runs Loki on the same traffic-analysis workload under several end-to-end
+latency SLOs (the Figure 8 sweep, shortened) and prints the resulting average
+accuracy, maximum accuracy drop and SLO-violation ratio per SLO value.
+
+Run with::
+
+    python examples/slo_sensitivity.py [duration_seconds]
+"""
+
+import sys
+
+from repro.experiments import fig8_slo_sweep
+
+
+def main(duration_s: int = 60) -> None:
+    result = fig8_slo_sweep.main(slos_ms=(200.0, 250.0, 300.0, 400.0), duration_s=duration_s)
+    print(
+        "\nTakeaway: tighter SLOs force smaller batches, more replicas and eventually lower-accuracy variants; "
+        f"below ~{result.min_feasible_slo_ms:.0f} ms this pipeline cannot be served at all."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 60)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Run every experiment in the harness and capture the printed reports.
+
+Used to populate EXPERIMENTS.md.  Each experiment's stdout is written to
+``results/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+import pathlib
+import sys
+import time
+
+from repro.experiments import (
+    fig1_phases,
+    fig3_tradeoff,
+    fig5_traffic,
+    fig6_social,
+    fig7_ablation,
+    fig8_slo_sweep,
+    runtime_overhead,
+    validation,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def capture(name: str, fn, **kwargs):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    buffer = io.StringIO()
+    start = time.perf_counter()
+    with contextlib.redirect_stdout(buffer):
+        result = fn(**kwargs)
+    elapsed = time.perf_counter() - start
+    text = buffer.getvalue() + f"\n[wall time: {elapsed:.1f}s]\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print(f"=== {name} ({elapsed:.1f}s) ===")
+    print(text)
+    sys.stdout.flush()
+    return result
+
+
+def main() -> None:
+    capture("fig3_tradeoff", fig3_tradeoff.main)
+    capture("fig1_phases", fig1_phases.main, num_points=12)
+    capture("validation", validation.main)
+    capture("runtime_overhead", runtime_overhead.main)
+    capture("fig7_ablation", fig7_ablation.main, duration_s=120)
+    capture("fig8_slo_sweep", fig8_slo_sweep.main, duration_s=120)
+    capture("fig5_traffic", fig5_traffic.main, duration_s=240)
+    capture("fig6_social", fig6_social.main, duration_s=240)
+    print("all experiments complete")
+
+
+if __name__ == "__main__":
+    main()

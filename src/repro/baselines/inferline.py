@@ -1,0 +1,108 @@
+"""InferLine-style baseline: pipeline-aware hardware scaling, no accuracy scaling.
+
+InferLine [Crankshaw et al., SoCC '20] provisions inference pipelines
+cost-efficiently but requires the client to pin a single model variant per
+task; it scales replicas and batch sizes, never accuracy.  We reproduce that
+policy by restricting the pipeline to one variant per task (the most accurate
+one by default, which is what a quality-seeking client would pin) and running
+the same minimum-worker MILP Loki uses for its hardware-scaling step.  When
+demand exceeds what the cluster can serve with the pinned variants, the best
+the system can do is provision for its maximum throughput -- the regime in
+which its SLO violations climb in Figures 5 and 6.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.core.allocation import AllocationPlan, AllocationProblem
+from repro.core.pipeline import Edge, Pipeline, Task
+from repro.core.profiles import ProfileRegistry
+from repro.baselines.base import BaselineControlPlane
+
+__all__ = ["InferLineControlPlane", "restrict_pipeline_to_variants"]
+
+
+def restrict_pipeline_to_variants(pipeline: Pipeline, selection: Mapping[str, str]) -> Pipeline:
+    """Build a copy of ``pipeline`` whose registry contains only the selected variant per task."""
+    registry = ProfileRegistry()
+    for task_name in pipeline.tasks:
+        if task_name not in selection:
+            raise KeyError(f"no variant selected for task {task_name!r}")
+        variant = pipeline.registry.variant(selection[task_name])
+        if pipeline.registry.task_of(variant.name) != task_name:
+            raise ValueError(f"variant {variant.name!r} does not belong to task {task_name!r}")
+        registry.register(task_name, variant)
+    tasks = [Task(name, task.description) for name, task in pipeline.tasks.items()]
+    edges = [Edge(e.parent, e.child, e.branch_ratio) for e in pipeline.edges]
+    return Pipeline(f"{pipeline.name}|restricted", tasks, edges, registry, latency_slo_ms=pipeline.latency_slo_ms)
+
+
+class InferLineControlPlane(BaselineControlPlane):
+    """Hardware scaling only, with a client-pinned variant per task."""
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        num_workers: int,
+        variant_selection: Optional[Mapping[str, str]] = None,
+        communication_latency_ms: float = 2.0,
+        solver_backend: str = "auto",
+        **kwargs,
+    ):
+        super().__init__(pipeline, num_workers, **kwargs)
+        if variant_selection is None:
+            variant_selection = {
+                task: pipeline.registry.most_accurate(task).name for task in pipeline.tasks
+            }
+        self.variant_selection: Dict[str, str] = dict(variant_selection)
+        self.restricted_pipeline = restrict_pipeline_to_variants(pipeline, self.variant_selection)
+        self.communication_latency_ms = float(communication_latency_ms)
+        self.solver_backend = solver_backend
+
+    def _problem(self) -> AllocationProblem:
+        return AllocationProblem(
+            pipeline=self.restricted_pipeline,
+            num_workers=self.num_workers,
+            latency_slo_ms=self.latency_slo_ms,
+            communication_latency_ms=self.communication_latency_ms,
+            multiplicative_factors=self.multiplier_estimates,
+            solver_backend=self.solver_backend,
+        )
+
+    def build_plan(self, target_demand_qps: float) -> AllocationPlan:
+        """Minimise workers for the pinned variants; fall back to max-throughput provisioning."""
+        problem = self._problem()
+        plan = problem.solve_hardware_scaling(target_demand_qps)
+        if plan is not None:
+            return self._with_original_name(plan)
+        # Demand exceeds the pinned-variant capacity of the whole cluster: the
+        # system keeps serving at its maximum throughput and the excess load
+        # shows up as queueing delay and SLO violations.
+        capacity = problem.max_supported_demand(restrict_to_best=True)
+        best_effort = capacity.plan
+        best_effort = AllocationPlan(
+            pipeline_name=self.pipeline.name,
+            mode="hardware",
+            demand_qps=target_demand_qps,
+            allocations=best_effort.allocations,
+            path_ratios=best_effort.path_ratios,
+            expected_accuracy=best_effort.expected_accuracy,
+            total_workers=best_effort.total_workers,
+            feasible=False,
+            solver_info={**best_effort.solver_info, "max_supported_qps": capacity.max_demand_qps},
+        )
+        return best_effort
+
+    def _with_original_name(self, plan: AllocationPlan) -> AllocationPlan:
+        return AllocationPlan(
+            pipeline_name=self.pipeline.name,
+            mode=plan.mode,
+            demand_qps=plan.demand_qps,
+            allocations=plan.allocations,
+            path_ratios=plan.path_ratios,
+            expected_accuracy=plan.expected_accuracy,
+            total_workers=plan.total_workers,
+            feasible=plan.feasible,
+            solver_info=plan.solver_info,
+        )

@@ -1,0 +1,248 @@
+"""Proteus-style baseline: accuracy scaling per task, pipeline-agnostic.
+
+Proteus [Ahmad et al., ASPLOS '24] introduced accuracy scaling for
+*independent* models on a fixed-size cluster.  Applied to a pipeline the way
+the paper describes ("it handles each task in the pipeline independently"),
+this means:
+
+* every task is treated as a stand-alone model with its own observed demand
+  (the arrival rate its workers see, not the pipeline-propagated demand Loki
+  computes from multiplicative factors);
+* the per-task latency requirement is the full pipeline SLO (halved for
+  queueing) because the system does not know the tasks share one deadline;
+* the whole cluster is always in use -- there is no hardware-scaling step --
+  and workers are split across tasks by a joint accuracy-maximising
+  allocation that is blind to inter-task dependencies.
+
+Those three properties produce exactly the failure modes Section 6.2 reports:
+throughput bottlenecks when upstream variants change the downstream load, end
+to-end deadline misses even when each task individually "meets" its target,
+and no server savings at off-peak times.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.allocation import ACCURACY_SCALING, AllocationPlan, VariantAllocation
+from repro.core.pipeline import Pipeline
+from repro.core.profiles import ModelVariant
+from repro.solver import Model, solve
+from repro.baselines.base import BaselineControlPlane
+
+__all__ = ["ProteusControlPlane"]
+
+
+class ProteusControlPlane(BaselineControlPlane):
+    """Pipeline-agnostic accuracy scaling over the whole cluster."""
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        num_workers: int,
+        solver_backend: str = "auto",
+        solver_options: Optional[Dict[str, object]] = None,
+        slo_slack_factor: float = 2.0,
+        **kwargs,
+    ):
+        super().__init__(pipeline, num_workers, **kwargs)
+        self.solver_backend = solver_backend
+        self.solver_options = dict(solver_options or {"mip_rel_gap": 2e-3, "time_limit": 3.0})
+        self.slo_slack_factor = float(slo_slack_factor)
+
+    # -- demand view ---------------------------------------------------------------
+    def task_demand_estimate(self, task_name: str, root_target_qps: float) -> float:
+        """Reactive per-task demand: what this task's workers have recently observed.
+
+        Before any traffic has been observed at a downstream task the estimate
+        falls back to the root demand (an optimistic under-estimate for tasks
+        whose real load is multiplied by upstream fan-out -- the blind spot of
+        a pipeline-agnostic system).
+        """
+        estimator = self.task_demand.get(task_name)
+        if estimator is not None and estimator.num_observations > 0:
+            return max(estimator.estimate(), self.min_demand_qps)
+        return max(root_target_qps, self.min_demand_qps)
+
+    # -- allocation -------------------------------------------------------------------
+    def build_plan(self, target_demand_qps: float) -> AllocationPlan:
+        """Joint accuracy-maximising allocation treating every task as an independent model."""
+        tasks = list(self.pipeline.tasks)
+        demands = {task: self.task_demand_estimate(task, target_demand_qps) for task in tasks}
+        budget_ms = self.latency_slo_ms / self.slo_slack_factor
+
+        model = Model("proteus")
+        x_vars: Dict[Tuple[str, str, int], object] = {}
+        f_vars: Dict[Tuple[str, str, int], object] = {}
+        configs: Dict[Tuple[str, str, int], Tuple[ModelVariant, float, float]] = {}
+        for task in tasks:
+            for variant in self.pipeline.registry.variants(task):
+                for batch in variant.batch_sizes:
+                    latency = variant.latency_ms(batch)
+                    if latency > budget_ms:
+                        continue  # the only latency awareness Proteus has is per model
+                    key = (task, variant.name, batch)
+                    configs[key] = (variant, variant.throughput_qps(batch), latency)
+                    x_vars[key] = model.add_var(f"x[{task}|{variant.name}|{batch}]", lb=0, ub=self.num_workers, integer=True)
+                    f_vars[key] = model.add_var(f"f[{task}|{variant.name}|{batch}]", lb=0.0)
+
+        total_x = None
+        objective = None
+        feasible_tasks = []
+        for task in tasks:
+            task_keys = [key for key in configs if key[0] == task]
+            if not task_keys:
+                continue
+            feasible_tasks.append(task)
+            served = None
+            for key in task_keys:
+                variant, throughput, _ = configs[key]
+                model.add_constraint(f_vars[key] <= x_vars[key] * throughput, name=f"cap[{'|'.join(map(str, key))}]")
+                served = f_vars[key] * 1.0 if served is None else served + f_vars[key]
+                term = f_vars[key] * (variant.accuracy / max(demands[task], 1e-9) / len(tasks))
+                objective = term if objective is None else objective + term
+            model.add_constraint(served == demands[task], name=f"demand[{task}]")
+        for key, var in x_vars.items():
+            total_x = var * 1.0 if total_x is None else total_x + var
+        if total_x is not None:
+            model.add_constraint(total_x <= float(self.num_workers), name="cluster_size")
+        if objective is not None:
+            model.maximize(objective)
+
+        solution = solve(model, backend=self.solver_backend, **self.solver_options)
+        if not solution.is_optimal:
+            return self._fallback_plan(target_demand_qps, demands, budget_ms)
+
+        allocations: List[VariantAllocation] = []
+        total_workers = 0
+        accuracy_weighted = 0.0
+        accuracy_norm = 0.0
+        for key, (variant, throughput, latency) in configs.items():
+            replicas = int(round(solution.get(x_vars[key], 0.0)))
+            if replicas <= 0:
+                continue
+            total_workers += replicas
+            allocations.append(
+                VariantAllocation(
+                    task=key[0],
+                    variant_name=key[1],
+                    batch_size=key[2],
+                    replicas=replicas,
+                    throughput_qps=throughput,
+                    latency_ms=latency,
+                    accuracy=variant.accuracy,
+                )
+            )
+            flow = solution.get(f_vars[key], 0.0)
+            accuracy_weighted += flow * variant.accuracy
+            accuracy_norm += flow
+        expected_accuracy = accuracy_weighted / accuracy_norm if accuracy_norm else 0.0
+        # Proteus performs no hardware scaling: the entire cluster stays active
+        # (Section 6.2, "Proteus ... uses the entire cluster throughout").  The
+        # leftover workers host extra replicas of the most accurate variant
+        # already selected for each task, round-robin across tasks.
+        allocations, total_workers = self._fill_cluster(allocations, total_workers, feasible_tasks, budget_ms)
+        return AllocationPlan(
+            pipeline_name=self.pipeline.name,
+            mode=ACCURACY_SCALING,
+            demand_qps=target_demand_qps,
+            allocations=allocations,
+            path_ratios={},
+            expected_accuracy=expected_accuracy,
+            total_workers=total_workers,
+            feasible=True,
+            solver_info=dict(solution.info),
+        )
+
+    def _fill_cluster(
+        self,
+        allocations: List[VariantAllocation],
+        total_workers: int,
+        tasks: List[str],
+        budget_ms: float,
+    ) -> Tuple[List[VariantAllocation], int]:
+        """Assign leftover workers as extra replicas (no hardware scale-down)."""
+        if total_workers >= self.num_workers or not tasks:
+            return allocations, total_workers
+        by_key: Dict[Tuple[str, str, int], VariantAllocation] = {
+            (a.task, a.variant_name, a.batch_size): a for a in allocations
+        }
+        task_cycle = sorted(tasks)
+        index = 0
+        while total_workers < self.num_workers:
+            task = task_cycle[index % len(task_cycle)]
+            index += 1
+            existing = [a for a in by_key.values() if a.task == task]
+            if existing:
+                best = max(existing, key=lambda a: a.accuracy)
+                key = (best.task, best.variant_name, best.batch_size)
+                by_key[key] = VariantAllocation(
+                    task=best.task,
+                    variant_name=best.variant_name,
+                    batch_size=best.batch_size,
+                    replicas=best.replicas + 1,
+                    throughput_qps=best.throughput_qps,
+                    latency_ms=best.latency_ms,
+                    accuracy=best.accuracy,
+                )
+            else:
+                variant = self.pipeline.registry.most_accurate(task)
+                batch = variant.best_batch_for_latency(budget_ms) or min(variant.batch_sizes)
+                key = (task, variant.name, batch)
+                by_key[key] = VariantAllocation(
+                    task=task,
+                    variant_name=variant.name,
+                    batch_size=batch,
+                    replicas=1,
+                    throughput_qps=variant.throughput_qps(batch),
+                    latency_ms=variant.latency_ms(batch),
+                    accuracy=variant.accuracy,
+                )
+            total_workers += 1
+        return list(by_key.values()), total_workers
+
+    def _fallback_plan(self, target_demand_qps: float, demands: Dict[str, float], budget_ms: float) -> AllocationPlan:
+        """Greedy fallback when the joint MILP is infeasible (demand above cluster capacity).
+
+        Workers are handed out task by task, cheapest (fastest) variants first,
+        proportionally to each task's share of the total observed demand, which
+        is how an accuracy-scaling system degrades once it runs out of room.
+        """
+        total_demand = sum(demands.values()) or 1.0
+        allocations: List[VariantAllocation] = []
+        total_workers = 0
+        tasks = list(self.pipeline.tasks)
+        for task in tasks:
+            share = demands[task] / total_demand
+            budget_workers = max(1, int(round(share * self.num_workers)))
+            budget_workers = min(budget_workers, self.num_workers - total_workers)
+            if budget_workers <= 0:
+                continue
+            variant = self.pipeline.registry.least_accurate(task)
+            batch = variant.best_batch_for_latency(budget_ms) or min(variant.batch_sizes)
+            allocations.append(
+                VariantAllocation(
+                    task=task,
+                    variant_name=variant.name,
+                    batch_size=batch,
+                    replicas=budget_workers,
+                    throughput_qps=variant.throughput_qps(batch),
+                    latency_ms=variant.latency_ms(batch),
+                    accuracy=variant.accuracy,
+                )
+            )
+            total_workers += budget_workers
+        expected_accuracy = (
+            sum(a.accuracy * a.replicas for a in allocations) / total_workers if total_workers else 0.0
+        )
+        return AllocationPlan(
+            pipeline_name=self.pipeline.name,
+            mode=ACCURACY_SCALING,
+            demand_qps=target_demand_qps,
+            allocations=allocations,
+            path_ratios={},
+            expected_accuracy=expected_accuracy,
+            total_workers=total_workers,
+            feasible=False,
+        )

@@ -1,0 +1,147 @@
+"""The Controller: glue between the Resource Manager, Load Balancer and Metadata Store.
+
+Section 3 of the paper describes the Controller as the component that owns the
+Metadata Store and periodically runs the Resource Manager (every 10 s) and the
+Load Balancer (every routing refresh interval, and whenever the allocation
+plan changes).  The simulator's frontend and workers report demand and
+multiplicative-factor observations to the Controller through the same methods
+a real deployment would use (heartbeats).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.allocation import AllocationPlan
+from repro.core.load_balancer import LoadBalancer, RoutingPlan, WorkerState, workers_from_plan
+from repro.core.metadata import MetadataStore
+from repro.core.pipeline import Pipeline
+from repro.core.resource_manager import ResourceManager
+
+__all__ = ["ControllerConfig", "Controller"]
+
+
+@dataclass
+class ControllerConfig:
+    """Tunable knobs of the Loki control plane.
+
+    The defaults follow the paper's experimental setup: a 10-second Resource
+    Manager invocation interval, a 1-second Load Balancer refresh, an SLO of
+    250 ms and a 20-worker cluster.
+    """
+
+    num_workers: int = 20
+    latency_slo_ms: float = 250.0
+    communication_latency_ms: float = 2.0
+    reallocation_interval_s: float = 10.0
+    routing_refresh_interval_s: float = 1.0
+    ewma_alpha: float = 0.5
+    headroom: float = 1.1
+    demand_quantum_qps: float = 20.0
+    reallocation_threshold: float = 0.25
+    utilization_target: float = 0.75
+    batch_sizes: Optional[Tuple[int, ...]] = None
+    drop_policy: str = "opportunistic_rerouting"
+    solver_backend: str = "auto"
+    min_demand_qps: float = 1.0
+
+
+class Controller:
+    """Owns the control-plane components and exposes the heartbeat/reporting API."""
+
+    def __init__(self, pipeline: Pipeline, config: Optional[ControllerConfig] = None):
+        self.pipeline = pipeline
+        self.config = config or ControllerConfig()
+        self.metadata = MetadataStore(pipeline)
+        self.resource_manager = ResourceManager(
+            pipeline=pipeline,
+            num_workers=self.config.num_workers,
+            metadata=self.metadata,
+            latency_slo_ms=self.config.latency_slo_ms,
+            communication_latency_ms=self.config.communication_latency_ms,
+            batch_sizes=self.config.batch_sizes,
+            invocation_interval_s=self.config.reallocation_interval_s,
+            ewma_alpha=self.config.ewma_alpha,
+            headroom=self.config.headroom,
+            demand_quantum_qps=self.config.demand_quantum_qps,
+            reallocation_threshold=self.config.reallocation_threshold,
+            min_demand_qps=self.config.min_demand_qps,
+            utilization_target=self.config.utilization_target,
+            solver_backend=self.config.solver_backend,
+        )
+        self.load_balancer = LoadBalancer(pipeline, refresh_interval_s=self.config.routing_refresh_interval_s)
+        self.current_plan: Optional[AllocationPlan] = None
+        self.current_routing: Optional[RoutingPlan] = None
+        self.current_workers: List[WorkerState] = []
+        self.plan_changes = 0
+
+    # -- reporting API (frontend / worker heartbeats) --------------------------
+    def report_demand(self, timestamp_s: float, demand_qps: float) -> None:
+        """Frontend demand report for the last measurement interval."""
+        self.resource_manager.observe_demand(timestamp_s, demand_qps)
+
+    def report_multiplier(self, variant_name: str, observed_factor: float) -> None:
+        """Worker heartbeat: observed multiplicative factor for one variant."""
+        self.metadata.report_multiplier(variant_name, observed_factor)
+
+    # -- periodic control loop ---------------------------------------------------
+    def step(self, now_s: float, force: bool = False) -> Tuple[Optional[AllocationPlan], Optional[RoutingPlan]]:
+        """Run one control-loop tick: re-allocate and/or refresh routing as needed.
+
+        Returns the (possibly new) allocation plan and routing plan; either may
+        be ``None`` when nothing changed this tick.
+        """
+        new_plan = None
+        if force or self.resource_manager.should_reallocate(now_s):
+            plan = self.resource_manager.allocate(now_s)
+            plan_changed = self._plan_differs(plan)
+            if plan_changed:
+                self.plan_changes += 1
+                self.current_plan = plan
+                self.current_workers = workers_from_plan(plan, self.pipeline)
+                new_plan = plan
+            else:
+                self.current_plan = plan
+
+        new_routing = None
+        plan_changed = new_plan is not None
+        if self.current_plan is not None and (
+            force or self.load_balancer.should_refresh(now_s, plan_changed)
+        ):
+            demand = max(
+                self.resource_manager.estimator.estimate(),
+                self.metadata.latest_demand_qps(),
+                self.config.min_demand_qps,
+            )
+            new_routing = self.load_balancer.refresh(
+                now_s,
+                self.current_workers,
+                demand,
+                self.metadata.multiplier_estimates(),
+            )
+            self.current_routing = new_routing
+            self.metadata.set_routing(new_routing)
+        return new_plan, new_routing
+
+    def _plan_differs(self, plan: AllocationPlan) -> bool:
+        if self.current_plan is None:
+            return True
+        old = {(a.task, a.variant_name, a.batch_size): a.replicas for a in self.current_plan.allocations}
+        new = {(a.task, a.variant_name, a.batch_size): a.replicas for a in plan.allocations}
+        return old != new
+
+    # -- queries -------------------------------------------------------------------
+    @property
+    def active_workers(self) -> int:
+        return self.current_plan.total_workers if self.current_plan else 0
+
+    @property
+    def expected_accuracy(self) -> float:
+        return self.current_plan.expected_accuracy if self.current_plan else 0.0
+
+    def latency_budget_ms(self, task: str, variant_name: str, batch_size: int) -> float:
+        """Per-task latency budget derived from the plan's configured batch size."""
+        if self.current_plan is None:
+            raise RuntimeError("no allocation plan available yet")
+        return self.current_plan.latency_budget_ms(task, variant_name, batch_size)

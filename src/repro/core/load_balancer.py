@@ -1,0 +1,344 @@
+"""The Load Balancer and the MostAccurateFirst routing algorithm (Section 5).
+
+The Load Balancer is a centralized component that converts the current
+resource-allocation plan plus the estimated demand into *routing tables*:
+
+* the **frontend table** tells the Frontend how to spread incoming client
+  queries over the workers hosting the pipeline's root task, and
+* each worker's table tells it how to spread the intermediate queries it
+  produces over the workers hosting the downstream tasks.
+
+Routing tables are produced by :class:`MostAccurateFirst` (Algorithm 1 in the
+paper): tasks are visited in topological order; within a task, workers are
+saturated in non-increasing order of their variant's single-model accuracy.
+Because end-to-end pipeline accuracy is monotone in the single-model
+accuracies, saturating the most accurate workers first maximises end-to-end
+accuracy for the routed demand.
+
+Workers left with spare capacity are collected into per-task **backup tables**
+that upstream workers use for opportunistic rerouting (Section 5.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.allocation import AllocationPlan
+from repro.core.pipeline import Pipeline
+
+__all__ = [
+    "WorkerState",
+    "RoutingEntry",
+    "RoutingTable",
+    "BackupEntry",
+    "RoutingPlan",
+    "LoadBalancer",
+    "MostAccurateFirst",
+    "workers_from_plan",
+]
+
+
+@dataclass
+class WorkerState:
+    """The Load Balancer's view of one worker (from heartbeat metadata)."""
+
+    worker_id: str
+    task: str
+    variant_name: str
+    accuracy: float
+    capacity_qps: float
+    latency_ms: float
+    batch_size: int
+    #: filled in by the routing algorithm
+    incoming_qps: float = 0.0
+    remaining_capacity_qps: float = 0.0
+
+    def reset(self) -> None:
+        self.incoming_qps = 0.0
+        self.remaining_capacity_qps = self.capacity_qps
+
+
+@dataclass(frozen=True)
+class RoutingEntry:
+    """One row of a routing table: route ``probability`` of traffic to ``worker_id``."""
+
+    worker_id: str
+    probability: float
+    accuracy: float
+    latency_ms: float
+
+
+class RoutingTable:
+    """Per-source routing table keyed by destination task.
+
+    The probabilities for a destination task sum to at most 1; a sum below 1
+    means the plan could not place that fraction of the expected traffic (the
+    cluster is saturated) and samplers renormalise so queries still go
+    somewhere, at the cost of queueing.
+    """
+
+    def __init__(self):
+        self._entries: Dict[str, List[RoutingEntry]] = {}
+        # Cached cumulative probability arrays per destination task; sampling
+        # happens on the per-query hot path of the simulator, so `choose`
+        # avoids rebuilding arrays on every call.
+        self._cumulative: Dict[str, np.ndarray] = {}
+
+    def add(self, destination_task: str, entry: RoutingEntry) -> None:
+        self._entries.setdefault(destination_task, []).append(entry)
+        self._cumulative.pop(destination_task, None)
+
+    def entries(self, destination_task: str) -> List[RoutingEntry]:
+        return list(self._entries.get(destination_task, []))
+
+    def destination_tasks(self) -> List[str]:
+        return list(self._entries)
+
+    def routed_fraction(self, destination_task: str) -> float:
+        return sum(e.probability for e in self._entries.get(destination_task, []))
+
+    def _cumulative_for(self, destination_task: str) -> Optional[np.ndarray]:
+        cumulative = self._cumulative.get(destination_task)
+        if cumulative is None:
+            entries = self._entries.get(destination_task)
+            if not entries:
+                return None
+            weights = np.array([e.probability for e in entries], dtype=float)
+            total = weights.sum()
+            if total <= 0:
+                return None
+            cumulative = np.cumsum(weights / total)
+            self._cumulative[destination_task] = cumulative
+        return cumulative
+
+    def choose(self, destination_task: str, rng: np.random.Generator) -> Optional[RoutingEntry]:
+        """Sample a destination worker proportionally to the routing probabilities."""
+        cumulative = self._cumulative_for(destination_task)
+        if cumulative is None:
+            return None
+        entries = self._entries[destination_task]
+        index = int(np.searchsorted(cumulative, rng.random(), side="right"))
+        index = min(index, len(entries) - 1)
+        return entries[index]
+
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    def __repr__(self):  # pragma: no cover - debug helper
+        parts = []
+        for task, entries in self._entries.items():
+            rows = ", ".join(f"{e.worker_id}:{e.probability:.2f}" for e in entries)
+            parts.append(f"{task} -> [{rows}]")
+        return f"RoutingTable({'; '.join(parts)})"
+
+
+@dataclass(frozen=True)
+class BackupEntry:
+    """A worker with leftover capacity, advertised for opportunistic rerouting."""
+
+    worker_id: str
+    task: str
+    variant_name: str
+    accuracy: float
+    latency_ms: float
+    leftover_capacity_qps: float
+
+
+@dataclass
+class RoutingPlan:
+    """The Load Balancer's full output for one routing refresh."""
+
+    frontend_table: RoutingTable
+    worker_tables: Dict[str, RoutingTable]
+    backup_tables: Dict[str, List[BackupEntry]]
+    #: fraction of expected demand per task that could not be placed (0 when
+    #: the allocation plan has enough capacity everywhere)
+    unplaced_fraction: Dict[str, float] = field(default_factory=dict)
+
+    def table_for(self, worker_id: str) -> RoutingTable:
+        return self.worker_tables.get(worker_id, RoutingTable())
+
+    def backups_for(self, task: str) -> List[BackupEntry]:
+        return list(self.backup_tables.get(task, []))
+
+
+class MostAccurateFirst:
+    """Algorithm 1: greedy accuracy-maximising routing-table generation."""
+
+    def __init__(self, pipeline: Pipeline):
+        self.pipeline = pipeline
+
+    def build(
+        self,
+        workers: Sequence[WorkerState],
+        demand_qps: float,
+        multiplicative_factors: Optional[Mapping[str, float]] = None,
+    ) -> RoutingPlan:
+        """Produce routing tables for the given worker fleet and estimated demand."""
+        multiplicative_factors = dict(multiplicative_factors or {})
+        by_task: Dict[str, List[WorkerState]] = {}
+        for worker in workers:
+            worker.reset()
+            by_task.setdefault(worker.task, []).append(worker)
+        for task_workers in by_task.values():
+            task_workers.sort(key=lambda w: (-w.accuracy, w.latency_ms, w.worker_id))
+
+        frontend_table = RoutingTable()
+        worker_tables: Dict[str, RoutingTable] = {w.worker_id: RoutingTable() for w in workers}
+        unplaced: Dict[str, float] = {}
+
+        # Route client demand to the root task's workers, most accurate first.
+        root = self.pipeline.root
+        root_workers = by_task.get(root, [])
+        remaining = float(demand_qps)
+        for worker in root_workers:
+            if remaining <= 1e-12:
+                break
+            routed = min(remaining, worker.remaining_capacity_qps)
+            if routed <= 0:
+                continue
+            probability = routed / demand_qps if demand_qps > 0 else 0.0
+            frontend_table.add(
+                root,
+                RoutingEntry(worker.worker_id, probability, worker.accuracy, worker.latency_ms),
+            )
+            worker.remaining_capacity_qps -= routed
+            worker.incoming_qps += routed
+            remaining -= routed
+        if demand_qps > 0:
+            unplaced[root] = max(0.0, remaining / demand_qps)
+
+        # Route intermediate demand task by task in topological order.
+        for task_name in self.pipeline.topological_order():
+            task_workers = by_task.get(task_name, [])
+            for worker in task_workers:
+                factor = multiplicative_factors.get(
+                    worker.variant_name,
+                    self.pipeline.registry.variant(worker.variant_name).multiplicative_factor,
+                )
+                table = worker_tables[worker.worker_id]
+                for edge in self.pipeline.children(task_name):
+                    outgoing = worker.incoming_qps * factor * edge.branch_ratio
+                    if outgoing <= 1e-12:
+                        continue
+                    total_child_demand = outgoing
+                    child_workers = by_task.get(edge.child, [])
+                    for child in child_workers:
+                        if outgoing <= 1e-12:
+                            break
+                        if child.remaining_capacity_qps <= 0:
+                            continue
+                        routed = min(outgoing, child.remaining_capacity_qps)
+                        probability = routed / total_child_demand
+                        table.add(
+                            edge.child,
+                            RoutingEntry(child.worker_id, probability, child.accuracy, child.latency_ms),
+                        )
+                        outgoing -= routed
+                        child.remaining_capacity_qps -= routed
+                        child.incoming_qps += routed
+                    if total_child_demand > 0:
+                        shortfall = outgoing / total_child_demand
+                        unplaced[edge.child] = max(unplaced.get(edge.child, 0.0), shortfall)
+
+        backup_tables = self._build_backups(by_task)
+        return RoutingPlan(
+            frontend_table=frontend_table,
+            worker_tables=worker_tables,
+            backup_tables=backup_tables,
+            unplaced_fraction=unplaced,
+        )
+
+    @staticmethod
+    def _build_backups(by_task: Mapping[str, List[WorkerState]]) -> Dict[str, List[BackupEntry]]:
+        """Collect leftover capacity per task, fastest workers first."""
+        backups: Dict[str, List[BackupEntry]] = {}
+        for task_name, task_workers in by_task.items():
+            entries = [
+                BackupEntry(
+                    worker_id=w.worker_id,
+                    task=task_name,
+                    variant_name=w.variant_name,
+                    accuracy=w.accuracy,
+                    latency_ms=w.latency_ms,
+                    leftover_capacity_qps=w.remaining_capacity_qps,
+                )
+                for w in task_workers
+                if w.remaining_capacity_qps > 1e-9
+            ]
+            entries.sort(key=lambda e: (e.latency_ms, -e.accuracy))
+            backups[task_name] = entries
+        return backups
+
+
+class LoadBalancer:
+    """Wraps MostAccurateFirst with the periodic-refresh behaviour of Section 5.
+
+    The Load Balancer re-runs the routing algorithm whenever the Resource
+    Manager publishes a new plan and also periodically in between, to follow
+    short-term demand changes.
+    """
+
+    def __init__(self, pipeline: Pipeline, refresh_interval_s: float = 1.0):
+        self.pipeline = pipeline
+        self.refresh_interval_s = float(refresh_interval_s)
+        self.algorithm = MostAccurateFirst(pipeline)
+        self.current_plan: Optional[RoutingPlan] = None
+        self._last_refresh_s: Optional[float] = None
+        self.refresh_count = 0
+        self.total_refresh_time_s = 0.0
+
+    def should_refresh(self, now_s: float, plan_changed: bool) -> bool:
+        if plan_changed or self.current_plan is None or self._last_refresh_s is None:
+            return True
+        return now_s - self._last_refresh_s >= self.refresh_interval_s
+
+    def refresh(
+        self,
+        now_s: float,
+        workers: Sequence[WorkerState],
+        demand_qps: float,
+        multiplicative_factors: Optional[Mapping[str, float]] = None,
+    ) -> RoutingPlan:
+        import time as _time
+
+        start = _time.perf_counter()
+        plan = self.algorithm.build(workers, demand_qps, multiplicative_factors)
+        self.total_refresh_time_s += _time.perf_counter() - start
+        self.refresh_count += 1
+        self.current_plan = plan
+        self._last_refresh_s = now_s
+        return plan
+
+    @property
+    def mean_refresh_time_s(self) -> float:
+        return self.total_refresh_time_s / self.refresh_count if self.refresh_count else 0.0
+
+
+def workers_from_plan(plan: AllocationPlan, pipeline: Pipeline) -> List[WorkerState]:
+    """Expand an allocation plan into per-worker states.
+
+    Each replica in the plan becomes one worker; worker ids encode the task,
+    variant, batch size and replica index so they are stable across refreshes
+    for an unchanged plan.
+    """
+    workers: List[WorkerState] = []
+    for allocation in plan.allocations:
+        variant = pipeline.registry.variant(allocation.variant_name)
+        for replica in range(allocation.replicas):
+            workers.append(
+                WorkerState(
+                    worker_id=f"{allocation.task}/{allocation.variant_name}/b{allocation.batch_size}/{replica}",
+                    task=allocation.task,
+                    variant_name=allocation.variant_name,
+                    accuracy=variant.accuracy,
+                    capacity_qps=allocation.throughput_qps,
+                    latency_ms=allocation.latency_ms,
+                    batch_size=allocation.batch_size,
+                )
+            )
+    return workers

@@ -1,0 +1,389 @@
+"""Inference pipelines as directed rooted trees, and their augmented graphs.
+
+Section 2.1 of the paper defines an inference pipeline as a directed rooted
+tree: each node is a task, the root is the source that receives client
+queries, leaves are sinks, and each edge carries the data flow between two
+tasks.  A query entering the root may fan out along the tree (e.g. detected
+cars go to the car classifier, detected persons to the facial-recognition
+model); the fraction of intermediate queries following each outgoing edge is
+the edge's *branch ratio*.
+
+Section 4.1 additionally defines the *augmented graph*: for every task vertex
+``i`` and every variant ``k`` of that task, the augmented graph has a vertex
+``(i, k)``, and ``(i, k) -> (j, k')`` is an edge iff ``(i, j)`` is an edge in
+the pipeline graph.  Root-to-sink paths through the augmented graph are the
+units the MILP routes traffic over (the ``c(p)`` variables).
+
+This module implements both graphs, root-to-sink path enumeration, per-path
+end-to-end accuracy, and the per-path request-multiplication factors
+``m(p, i, k)`` of Equation (1).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.profiles import ModelVariant, ProfileRegistry
+
+__all__ = ["Edge", "Task", "Pipeline", "AugmentedGraph", "AugmentedPath", "PathKey", "PipelineError"]
+
+#: A root-to-sink path through the augmented graph, as a tuple of
+#: ``(task_name, variant_name)`` pairs ordered root-first.
+PathKey = Tuple[Tuple[str, str], ...]
+
+
+class PipelineError(ValueError):
+    """Raised when a pipeline graph is malformed (not a directed rooted tree)."""
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed edge ``parent -> child`` in the pipeline graph.
+
+    ``branch_ratio`` is the fraction of a parent task's *output* queries that
+    flow along this edge.  For a single-child task it is 1.0; for the traffic
+    analysis pipeline, e.g. 0.6 of detected objects may be cars (routed to car
+    classification) and 0.4 persons (routed to facial recognition).
+    """
+
+    parent: str
+    child: str
+    branch_ratio: float = 1.0
+
+    def __post_init__(self):
+        if not (0.0 < self.branch_ratio <= 1.0 + 1e-9):
+            raise PipelineError(f"edge {self.parent}->{self.child}: branch ratio must be in (0, 1]")
+
+
+@dataclass
+class Task:
+    """A pipeline task (a vertex of the pipeline graph)."""
+
+    name: str
+    description: str = ""
+
+    def __hash__(self):
+        return hash(self.name)
+
+
+class Pipeline:
+    """A directed rooted tree of inference tasks.
+
+    Parameters
+    ----------
+    name:
+        Pipeline name (used in logs, experiments and the metadata store).
+    tasks:
+        The tasks, in any order.
+    edges:
+        Directed edges.  The graph must form a rooted tree: exactly one task
+        with no incoming edge (the root/source), every other task with exactly
+        one incoming edge, and no cycles.
+    registry:
+        The :class:`~repro.core.profiles.ProfileRegistry` holding the model
+        variants for each task.  Every task must have at least one variant.
+    latency_slo_ms:
+        End-to-end latency SLO for the pipeline (``L`` in Table 1).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        tasks: Sequence[Task],
+        edges: Sequence[Edge],
+        registry: ProfileRegistry,
+        latency_slo_ms: float = 250.0,
+    ):
+        self.name = name
+        self.tasks: Dict[str, Task] = {}
+        for task in tasks:
+            if task.name in self.tasks:
+                raise PipelineError(f"duplicate task name {task.name!r}")
+            self.tasks[task.name] = task
+        self.edges: List[Edge] = list(edges)
+        self.registry = registry
+        self.latency_slo_ms = float(latency_slo_ms)
+
+        self._children: Dict[str, List[Edge]] = {t: [] for t in self.tasks}
+        self._parent: Dict[str, Optional[str]] = {t: None for t in self.tasks}
+        for edge in self.edges:
+            if edge.parent not in self.tasks or edge.child not in self.tasks:
+                raise PipelineError(f"edge {edge.parent}->{edge.child} references unknown task")
+            if self._parent[edge.child] is not None:
+                raise PipelineError(f"task {edge.child!r} has multiple parents; pipelines must be rooted trees")
+            self._children[edge.parent].append(edge)
+            self._parent[edge.child] = edge.parent
+
+        self.root = self._find_root()
+        self._validate_tree()
+        self._validate_registry()
+
+    # -- structure ---------------------------------------------------------
+    def _find_root(self) -> str:
+        roots = [name for name, parent in self._parent.items() if parent is None]
+        if len(roots) != 1:
+            raise PipelineError(f"pipeline must have exactly one root task, found {len(roots)}: {roots}")
+        return roots[0]
+
+    def _validate_tree(self) -> None:
+        # Reachability from the root must cover every task (no disconnected
+        # components and, together with the single-parent rule, no cycles).
+        seen = set()
+        stack = [self.root]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                raise PipelineError("pipeline graph contains a cycle")
+            seen.add(current)
+            stack.extend(edge.child for edge in self._children[current])
+        if seen != set(self.tasks):
+            missing = set(self.tasks) - seen
+            raise PipelineError(f"tasks unreachable from the root: {sorted(missing)}")
+
+    def _validate_registry(self) -> None:
+        for task_name in self.tasks:
+            if self.registry.num_variants(task_name) == 0:
+                raise PipelineError(f"task {task_name!r} has no registered model variants")
+
+    def children(self, task_name: str) -> List[Edge]:
+        """Outgoing edges of ``task_name``."""
+        return list(self._children[task_name])
+
+    def parent(self, task_name: str) -> Optional[str]:
+        return self._parent[task_name]
+
+    def edge(self, parent: str, child: str) -> Edge:
+        for e in self._children[parent]:
+            if e.child == child:
+                return e
+        raise KeyError(f"no edge {parent}->{child}")
+
+    @property
+    def sinks(self) -> List[str]:
+        return [name for name in self.topological_order() if not self._children[name]]
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    def topological_order(self) -> List[str]:
+        """Tasks in root-first topological (BFS) order."""
+        order: List[str] = []
+        queue = [self.root]
+        while queue:
+            current = queue.pop(0)
+            order.append(current)
+            queue.extend(edge.child for edge in self._children[current])
+        return order
+
+    def depth(self, task_name: str) -> int:
+        """Number of edges from the root to ``task_name``."""
+        depth = 0
+        current = task_name
+        while self._parent[current] is not None:
+            current = self._parent[current]
+            depth += 1
+        return depth
+
+    def max_depth(self) -> int:
+        return max(self.depth(sink) for sink in self.sinks)
+
+    # -- task-level paths ----------------------------------------------------
+    def task_paths(self) -> List[List[str]]:
+        """All root-to-sink paths as lists of task names (root first)."""
+        paths: List[List[str]] = []
+
+        def visit(task_name: str, prefix: List[str]):
+            prefix = prefix + [task_name]
+            outgoing = self._children[task_name]
+            if not outgoing:
+                paths.append(prefix)
+                return
+            for edge in outgoing:
+                visit(edge.child, prefix)
+
+        visit(self.root, [])
+        return paths
+
+    def path_branch_probability(self, task_path: Sequence[str]) -> float:
+        """Product of branch ratios along a task path (probability a query's
+        intermediate output follows this sink branch)."""
+        prob = 1.0
+        for parent, child in zip(task_path, task_path[1:]):
+            prob *= self.edge(parent, child).branch_ratio
+        return prob
+
+    # -- accuracy ------------------------------------------------------------
+    def path_accuracy(self, variant_by_task: Mapping[str, ModelVariant], task_path: Sequence[str]) -> float:
+        """End-to-end accuracy of one root-to-sink path, ``Â(p)``.
+
+        The default composition rule multiplies the normalised accuracies of
+        the variants along the path, matching the intuition that a downstream
+        model can only be correct on inputs its upstream model handled
+        correctly.  It is monotone in each single-model accuracy, which is the
+        property MostAccurateFirst relies on (Section 5.1).
+        """
+        acc = 1.0
+        for task_name in task_path:
+            acc *= variant_by_task[task_name].accuracy
+        return acc
+
+    def end_to_end_accuracy(self, variant_by_task: Mapping[str, ModelVariant]) -> float:
+        """Average end-to-end accuracy over all root-to-sink paths (Section 2.1)."""
+        paths = self.task_paths()
+        return sum(self.path_accuracy(variant_by_task, p) for p in paths) / len(paths)
+
+    def max_accuracy_selection(self) -> Dict[str, ModelVariant]:
+        """The most accurate variant for every task (``v_i^max``)."""
+        return {t: self.registry.most_accurate(t) for t in self.tasks}
+
+    def max_end_to_end_accuracy(self) -> float:
+        return self.end_to_end_accuracy(self.max_accuracy_selection())
+
+    # -- latency ---------------------------------------------------------------
+    def min_path_latency_ms(self) -> float:
+        """Smallest achievable processing latency over any root-to-sink path.
+
+        Uses batch size 1 and the fastest variant of every task; below this
+        value no SLO is feasible (the paper's observation for SLOs under
+        ~200 ms in Section 6.4).
+        """
+        best = math.inf
+        for task_path in self.task_paths():
+            total = 0.0
+            for task_name in task_path:
+                total += min(v.min_latency_ms() for v in self.registry.variants(task_name))
+            best = min(best, total)
+        return best
+
+    def augmented(self, batch_sizes: Optional[Sequence[int]] = None) -> "AugmentedGraph":
+        """Build the augmented graph for this pipeline (Section 4.1)."""
+        return AugmentedGraph(self, batch_sizes=batch_sizes)
+
+    def __repr__(self):  # pragma: no cover - debug helper
+        return f"Pipeline({self.name!r}, tasks={list(self.tasks)}, root={self.root!r})"
+
+
+@dataclass(frozen=True)
+class AugmentedPath:
+    """A root-to-sink path through the augmented graph.
+
+    Attributes
+    ----------
+    key:
+        The ``((task, variant), ...)`` tuple identifying the path.
+    branch_probability:
+        Product of the branch ratios of the traversed pipeline edges.
+    accuracy:
+        End-to-end accuracy ``Â(p)`` of the path.
+    multipliers:
+        ``m(p, i, k)`` of Equation (1): for every ``(task, variant)`` vertex on
+        the path, the expected number of requests reaching that vertex per
+        request entering the path (product of the multiplicative factors of
+        all *upstream* vertices, scaled by upstream branch ratios).
+    """
+
+    key: PathKey
+    branch_probability: float
+    accuracy: float
+    multipliers: Tuple[float, ...]
+
+    @property
+    def tasks(self) -> Tuple[str, ...]:
+        return tuple(task for task, _ in self.key)
+
+    @property
+    def variants(self) -> Tuple[str, ...]:
+        return tuple(variant for _, variant in self.key)
+
+    def multiplier_for(self, task_name: str) -> float:
+        for (task, _), mult in zip(self.key, self.multipliers):
+            if task == task_name:
+                return mult
+        raise KeyError(f"task {task_name!r} not on path {self.key}")
+
+
+class AugmentedGraph:
+    """The augmented graph: every combination of model variants along each path.
+
+    ``paths()`` enumerates all root-to-sink paths; the count is the product of
+    the per-task variant counts along each task path, so for Loki's pipelines
+    (2 tasks, ≤8 variants each) it stays small.  The MILP in
+    :mod:`repro.core.allocation` attaches a routing variable ``c(p)`` to each
+    of these paths.
+    """
+
+    def __init__(self, pipeline: Pipeline, batch_sizes: Optional[Sequence[int]] = None):
+        self.pipeline = pipeline
+        self.batch_sizes = tuple(batch_sizes) if batch_sizes is not None else None
+        self._paths: Optional[List[AugmentedPath]] = None
+
+    def vertices(self) -> List[Tuple[str, str]]:
+        """All ``(task, variant)`` vertices."""
+        result = []
+        for task_name in self.pipeline.topological_order():
+            for variant in self.pipeline.registry.variants(task_name):
+                result.append((task_name, variant.name))
+        return result
+
+    def paths(self) -> List[AugmentedPath]:
+        """All root-to-sink augmented paths (cached)."""
+        if self._paths is None:
+            self._paths = self._enumerate_paths()
+        return self._paths
+
+    def _enumerate_paths(self) -> List[AugmentedPath]:
+        registry = self.pipeline.registry
+        result: List[AugmentedPath] = []
+        for task_path in self.pipeline.task_paths():
+            branch_probability = self.pipeline.path_branch_probability(task_path)
+            variant_lists = [registry.variants(task_name) for task_name in task_path]
+            for combo in itertools.product(*variant_lists):
+                key = tuple((task, variant.name) for task, variant in zip(task_path, combo))
+                accuracy = self.pipeline.path_accuracy(
+                    {task: variant for task, variant in zip(task_path, combo)}, task_path
+                )
+                multipliers = self._path_multipliers(task_path, combo)
+                result.append(
+                    AugmentedPath(
+                        key=key,
+                        branch_probability=branch_probability,
+                        accuracy=accuracy,
+                        multipliers=multipliers,
+                    )
+                )
+        return result
+
+    def _path_multipliers(self, task_path: Sequence[str], combo: Sequence[ModelVariant]) -> Tuple[float, ...]:
+        """``m(p, i, k)`` for every vertex on the path.
+
+        The first task receives exactly the requests entering the path
+        (multiplier 1).  Each subsequent task receives the upstream multiplier
+        times the upstream variant's multiplicative factor times the branch
+        ratio of the traversed edge.
+        """
+        multipliers: List[float] = []
+        running = 1.0
+        for position, (task_name, variant) in enumerate(zip(task_path, combo)):
+            if position > 0:
+                upstream_variant = combo[position - 1]
+                edge = self.pipeline.edge(task_path[position - 1], task_name)
+                running *= upstream_variant.multiplicative_factor * edge.branch_ratio
+            multipliers.append(running)
+        return tuple(multipliers)
+
+    def paths_through(self, task_name: str, variant_name: str) -> List[AugmentedPath]:
+        """``P_{i,k}``: augmented paths containing vertex ``(task, variant)``."""
+        return [p for p in self.paths() if (task_name, variant_name) in p.key]
+
+    def num_paths(self) -> int:
+        return len(self.paths())
+
+    def max_path_accuracy(self) -> float:
+        return max(p.accuracy for p in self.paths())
+
+    def min_path_accuracy(self) -> float:
+        return min(p.accuracy for p in self.paths())

@@ -1,0 +1,152 @@
+"""Shared helpers for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines import InferLineControlPlane, ProteusControlPlane
+from repro.core import Controller, ControllerConfig
+from repro.core.pipeline import Pipeline
+from repro.simulator import ServingSimulation, SimulationConfig, SimulationSummary
+from repro.workloads import Trace
+
+__all__ = [
+    "SystemRun",
+    "make_loki",
+    "make_inferline",
+    "make_proteus",
+    "SYSTEM_FACTORIES",
+    "run_system",
+    "format_table",
+    "off_peak_mean_workers",
+]
+
+
+@dataclass
+class SystemRun:
+    """Result of simulating one serving system on one trace."""
+
+    system: str
+    pipeline: str
+    trace: str
+    summary: SimulationSummary
+    control_plane: object = field(repr=False, default=None)
+    simulation: ServingSimulation = field(repr=False, default=None)
+
+    @property
+    def slo_violation_ratio(self) -> float:
+        return self.summary.slo_violation_ratio
+
+    @property
+    def mean_accuracy(self) -> float:
+        return self.summary.mean_accuracy
+
+    @property
+    def mean_workers(self) -> float:
+        return self.summary.mean_workers
+
+
+def make_loki(pipeline: Pipeline, num_workers: int, slo_ms: float, **overrides) -> Controller:
+    """Loki's control plane with the experiment defaults.
+
+    The experiment traces are heavily time-compressed relative to the paper's
+    full-day traces (minutes instead of hours), so demand moves much faster
+    between Resource Manager invocations; a slightly larger provisioning
+    headroom and a more sensitive significant-change trigger compensate.
+    """
+    config = ControllerConfig(
+        num_workers=num_workers,
+        latency_slo_ms=slo_ms,
+        headroom=overrides.pop("headroom", 1.2),
+        reallocation_threshold=overrides.pop("reallocation_threshold", 0.15),
+        demand_quantum_qps=overrides.pop("demand_quantum_qps", 20.0),
+        **overrides,
+    )
+    return Controller(pipeline, config)
+
+
+def make_inferline(pipeline: Pipeline, num_workers: int, slo_ms: float, **overrides) -> InferLineControlPlane:
+    return InferLineControlPlane(pipeline, num_workers, latency_slo_ms=slo_ms, **overrides)
+
+
+def make_proteus(pipeline: Pipeline, num_workers: int, slo_ms: float, **overrides) -> ProteusControlPlane:
+    return ProteusControlPlane(pipeline, num_workers, latency_slo_ms=slo_ms, **overrides)
+
+
+#: The three systems compared in Figures 5 and 6.
+SYSTEM_FACTORIES: Dict[str, Callable] = {
+    "loki": make_loki,
+    "inferline": make_inferline,
+    "proteus": make_proteus,
+}
+
+
+def run_system(
+    system: str,
+    pipeline: Pipeline,
+    trace: Trace,
+    num_workers: int = 20,
+    slo_ms: float = 250.0,
+    seed: int = 0,
+    drop_policy: Optional[str] = None,
+    sim_overrides: Optional[Dict[str, object]] = None,
+    control_overrides: Optional[Dict[str, object]] = None,
+) -> SystemRun:
+    """Simulate one system on one trace and return its :class:`SystemRun`.
+
+    The baselines do not implement opportunistic rerouting, so unless a drop
+    policy is given explicitly they run without early dropping while Loki uses
+    its full policy.
+    """
+    if system not in SYSTEM_FACTORIES:
+        raise KeyError(f"unknown system {system!r}; available: {sorted(SYSTEM_FACTORIES)}")
+    control_plane = SYSTEM_FACTORIES[system](pipeline, num_workers, slo_ms, **(control_overrides or {}))
+    if drop_policy is None:
+        drop_policy = "opportunistic_rerouting" if system == "loki" else "no_early_dropping"
+    config = SimulationConfig(
+        num_workers=num_workers,
+        latency_slo_ms=slo_ms,
+        seed=seed,
+        drop_policy=drop_policy,
+        **(sim_overrides or {}),
+    )
+    simulation = ServingSimulation(pipeline, control_plane, trace, config)
+    summary = simulation.run()
+    return SystemRun(
+        system=system,
+        pipeline=pipeline.name,
+        trace=trace.name,
+        summary=summary,
+        control_plane=control_plane,
+        simulation=simulation,
+    )
+
+
+def off_peak_mean_workers(summary: SimulationSummary, fraction: float = 0.2) -> float:
+    """Mean active workers during the lowest-demand ``fraction`` of intervals.
+
+    Intervals with zero demand (the drain period after the trace ends) are
+    excluded -- they carry no information about off-peak provisioning.
+    """
+    intervals = [i for i in summary.intervals if i.demand > 0]
+    if not intervals:
+        return 0.0
+    ordered = sorted(intervals, key=lambda i: i.demand)
+    count = max(1, int(len(ordered) * fraction))
+    return float(np.mean([i.active_workers for i in ordered[:count]]))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width text table used by every experiment's ``main()``."""
+    columns = [[str(h)] + [str(row[i]) for row in rows] for i, h in enumerate(headers)]
+    widths = [max(len(value) for value in column) for column in columns]
+    lines = []
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(value).ljust(w) for value, w in zip(row, widths)))
+    return "\n".join(lines)

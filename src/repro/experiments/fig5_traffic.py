@@ -1,0 +1,66 @@
+"""Figure 5: end-to-end comparison on the traffic-analysis pipeline.
+
+The paper drives the traffic-analysis pipeline (YOLOv5 -> EfficientNet / VGG)
+with a day of the Azure Functions trace rescaled to the 20-GPU cluster and a
+250 ms SLO, comparing Loki against InferLine (hardware scaling only) and
+Proteus (pipeline-agnostic accuracy scaling).  Headline results:
+
+* Loki's effective capacity is ~2.5x InferLine's;
+* Loki's SLO violations are >= 10x lower than Proteus's;
+* during off-peak periods Loki uses ~2.67x fewer servers than Proteus.
+
+This reproduction uses the synthetic Azure-like trace (same diurnal shape),
+rescaled so its peak lands just inside the accuracy-scaling capacity of the
+cluster -- past the point hardware scaling alone can absorb, exactly as in the
+paper's setup.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.endtoend import ComparisonResult, print_comparison, run_comparison
+from repro.workloads import azure_like_trace
+from repro.zoo import traffic_analysis_pipeline
+
+__all__ = ["run", "main"]
+
+PAPER_CLAIMS = "2.5x effective capacity vs InferLine, 10x fewer SLO violations vs Proteus, 2.67x fewer servers off-peak"
+
+
+def run(
+    duration_s: int = 240,
+    num_workers: int = 20,
+    slo_ms: float = 250.0,
+    seed: int = 0,
+    peak_over_hardware: float = 2.5,
+    trough_fraction: float = 0.12,
+    trace_seed: int = 7,
+) -> ComparisonResult:
+    """Run the Figure 5 comparison (durations are compressed relative to the paper's full day).
+
+    The trace peak is scaled to ``peak_over_hardware`` times the hardware
+    scaling capacity, matching the paper: the peak is beyond what InferLine
+    can serve, while the trough stays below it so Loki's hardware-scaling
+    phase (and its server savings) are visible.
+    """
+    pipeline = traffic_analysis_pipeline(latency_slo_ms=slo_ms)
+    trace = azure_like_trace(duration_s=duration_s, peak_qps=1.0, trough_fraction=trough_fraction, seed=trace_seed)
+    return run_comparison(
+        pipeline,
+        trace,
+        num_workers=num_workers,
+        slo_ms=slo_ms,
+        seed=seed,
+        peak_over_hardware=peak_over_hardware,
+    )
+
+
+def main(**kwargs) -> ComparisonResult:
+    result = run(**kwargs)
+    print_comparison(result, "Figure 5", PAPER_CLAIMS)
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,131 @@
+"""The simulated worker fleet and allocation-plan application.
+
+The cluster owns a fixed set of physical workers (``S`` GPUs).  Whenever the
+Resource Manager publishes a new allocation plan, :meth:`Cluster.apply_plan`
+maps the plan's logical workers (one per replica of a hosted configuration)
+onto physical workers.  The mapping is kept as stable as possible so that
+unchanged replicas do not pay the model-swap overhead; physical workers whose
+assignment changes variant incur the variant's load time before they can serve
+queries again.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.core.allocation import AllocationPlan
+from repro.core.load_balancer import WorkerState, workers_from_plan
+from repro.core.pipeline import Pipeline
+from repro.simulator.worker import SimWorker, WorkerAssignment
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulator.runner import ServingSimulation
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """Fixed-size fleet of physical workers."""
+
+    def __init__(self, sim: "ServingSimulation", num_workers: int):
+        if num_workers < 1:
+            raise ValueError("cluster needs at least one worker")
+        self.sim = sim
+        self.num_workers = int(num_workers)
+        self.workers: List[SimWorker] = [SimWorker(f"w{i}", sim) for i in range(num_workers)]
+        #: logical plan-worker id -> physical worker currently hosting it
+        self.logical_map: Dict[str, SimWorker] = {}
+        self.plan_applications = 0
+        self.model_loads = 0
+
+    # -- plan application -------------------------------------------------------
+    def apply_plan(self, plan: AllocationPlan, pipeline: Pipeline, now_s: float) -> List[WorkerState]:
+        """Map the plan's logical workers onto physical workers.
+
+        Returns the logical :class:`WorkerState` list (as the Load Balancer
+        sees it) for convenience.
+        """
+        logical_workers = workers_from_plan(plan, pipeline)
+        if len(logical_workers) > self.num_workers:
+            raise ValueError(
+                f"plan requires {len(logical_workers)} workers but the cluster has {self.num_workers}"
+            )
+        desired: Dict[str, WorkerState] = {w.worker_id: w for w in logical_workers}
+
+        # Keep logical ids that are already hosted where they are.
+        new_map: Dict[str, SimWorker] = {}
+        used_physical = set()
+        for logical_id, worker in self.logical_map.items():
+            if logical_id in desired:
+                new_map[logical_id] = worker
+                used_physical.add(worker.physical_id)
+
+        free_workers = [w for w in self.workers if w.physical_id not in used_physical]
+        unassigned = [w for w in logical_workers if w.worker_id not in new_map]
+
+        # Prefer physical workers already hosting the same variant (no reload).
+        def variant_of(worker: SimWorker) -> Optional[str]:
+            return worker.assignment.variant.name if worker.assignment else None
+
+        for logical in list(unassigned):
+            match = next((w for w in free_workers if variant_of(w) == logical.variant_name), None)
+            if match is not None:
+                new_map[logical.worker_id] = match
+                free_workers.remove(match)
+                unassigned.remove(logical)
+        for logical, physical in zip(unassigned, free_workers):
+            new_map[logical.worker_id] = physical
+
+        # Apply assignments.
+        newly_loaded = 0
+        for logical_id, physical in new_map.items():
+            state = desired[logical_id]
+            variant = pipeline.registry.variant(state.variant_name)
+            previous = physical.assignment.variant.name if physical.assignment else None
+            budget_slack = getattr(getattr(self.sim, "config", None), "budget_slack", 2.0)
+            assignment = WorkerAssignment(
+                logical_id=logical_id,
+                task=state.task,
+                variant=variant,
+                batch_size=state.batch_size,
+                latency_budget_ms=state.latency_ms * budget_slack,
+                expected_latency_ms=state.latency_ms,
+            )
+            physical.assign(assignment, now_s)
+            if previous != variant.name:
+                newly_loaded += 1
+
+        # Deactivate physical workers not referenced by the new plan.
+        referenced = {w.physical_id for w in new_map.values()}
+        for worker in self.workers:
+            if worker.physical_id not in referenced:
+                worker.assign(None, now_s)
+
+        self.logical_map = new_map
+        self.plan_applications += 1
+        self.model_loads += newly_loaded
+        return logical_workers
+
+    # -- queries ------------------------------------------------------------------
+    def resolve(self, logical_id: str) -> Optional[SimWorker]:
+        """Physical worker currently hosting the given logical plan worker."""
+        return self.logical_map.get(logical_id)
+
+    @property
+    def active_workers(self) -> int:
+        return sum(1 for w in self.workers if w.active)
+
+    @property
+    def total_queue_length(self) -> int:
+        return sum(w.queue_length for w in self.workers)
+
+    def heartbeats(self) -> Dict[str, float]:
+        """Collect per-variant mean multiplicative-factor observations since the last call."""
+        observations: Dict[str, List[float]] = {}
+        for worker in self.workers:
+            if worker.assignment is None:
+                continue
+            value = worker.heartbeat()
+            if value is not None:
+                observations.setdefault(worker.assignment.variant.name, []).append(value)
+        return {name: sum(values) / len(values) for name, values in observations.items()}

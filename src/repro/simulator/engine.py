@@ -1,0 +1,70 @@
+"""Simulation engine: clock plus event loop."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.simulator.events import Event, EventQueue
+
+__all__ = ["SimulationEngine"]
+
+
+class SimulationEngine:
+    """Owns the simulation clock and the event calendar.
+
+    Components schedule work through :meth:`schedule` / :meth:`schedule_in`
+    and the engine advances the clock to each event in turn until the calendar
+    is empty or the configured horizon is reached.
+    """
+
+    def __init__(self):
+        self.queue = EventQueue()
+        self.now_s: float = 0.0
+        self.events_processed: int = 0
+
+    # -- scheduling ---------------------------------------------------------
+    def schedule(self, time_s: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` at absolute simulation time ``time_s``."""
+        if time_s < self.now_s - 1e-12:
+            raise ValueError(f"cannot schedule in the past ({time_s} < {self.now_s})")
+        return self.queue.schedule(max(time_s, self.now_s), action)
+
+    def schedule_in(self, delay_s: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` ``delay_s`` seconds from the current time."""
+        if delay_s < 0:
+            raise ValueError("delay cannot be negative")
+        return self.schedule(self.now_s + delay_s, action)
+
+    # -- running -------------------------------------------------------------
+    def run(self, until_s: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Process events until the horizon, event budget or calendar end.
+
+        Returns the simulation time at which the loop stopped.
+        """
+        processed = 0
+        while True:
+            next_time = self.queue.peek_time()
+            if next_time is None:
+                break
+            if until_s is not None and next_time > until_s:
+                self.now_s = until_s
+                break
+            event = self.queue.pop()
+            assert event is not None
+            self.now_s = event.time_s
+            event.action()
+            self.events_processed += 1
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                break
+        return self.now_s
+
+    def step(self) -> bool:
+        """Process exactly one event; returns False when the calendar is empty."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        self.now_s = event.time_s
+        event.action()
+        self.events_processed += 1
+        return True

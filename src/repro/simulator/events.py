@@ -1,0 +1,65 @@
+"""Event calendar for the discrete-event simulator.
+
+Events are ``(time, sequence, callback)`` triples kept in a binary heap.  The
+sequence number breaks ties deterministically (FIFO among simultaneous
+events), which keeps simulations reproducible for a fixed RNG seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled simulation event."""
+
+    time_s: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A time-ordered event calendar."""
+
+    def __init__(self):
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def schedule(self, time_s: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` to run at simulation time ``time_s``."""
+        if time_s < 0:
+            raise ValueError("cannot schedule an event at negative time")
+        event = Event(time_s=time_s, sequence=next(self._counter), action=action)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Pop the next non-cancelled event, or ``None`` when the calendar is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next non-cancelled event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time_s if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None

@@ -1,0 +1,193 @@
+"""Metrics collection for simulation runs.
+
+The evaluation metrics of Section 6.1:
+
+* **System accuracy** -- average accuracy experienced by all requests served
+  by the system.
+* **Cluster utilisation** -- ratio of workers used to the cluster size.
+* **SLO violation ratio** -- ratio of requests that missed their SLO, where a
+  request misses either by finishing late or by being dropped.
+
+Metrics are aggregated per reporting interval (1 second by default) so the
+experiment harness can reproduce the timeseries panels of Figures 5 and 6, and
+summarised over the whole run for the headline comparisons.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.simulator.query import Request, RequestStatus
+
+__all__ = ["IntervalMetrics", "MetricsCollector", "SimulationSummary"]
+
+
+@dataclass
+class IntervalMetrics:
+    """Aggregates for one reporting interval."""
+
+    start_s: float
+    demand: int = 0
+    completed: int = 0
+    violations: int = 0
+    dropped: int = 0
+    late: int = 0
+    accuracy_sum: float = 0.0
+    accuracy_count: int = 0
+    active_workers: int = 0
+    cluster_size: int = 0
+
+    @property
+    def finished(self) -> int:
+        return self.completed + self.violations
+
+    @property
+    def violation_ratio(self) -> float:
+        total = self.finished
+        return self.violations / total if total else 0.0
+
+    @property
+    def mean_accuracy(self) -> float:
+        return self.accuracy_sum / self.accuracy_count if self.accuracy_count else 0.0
+
+    @property
+    def utilization(self) -> float:
+        return self.active_workers / self.cluster_size if self.cluster_size else 0.0
+
+
+@dataclass
+class SimulationSummary:
+    """End-of-run summary used by the experiment harness and benchmarks."""
+
+    total_requests: int
+    completed_requests: int
+    violated_requests: int
+    dropped_requests: int
+    late_requests: int
+    slo_violation_ratio: float
+    mean_accuracy: float
+    min_interval_accuracy: float
+    max_accuracy_drop: float
+    mean_utilization: float
+    peak_workers: int
+    mean_workers: float
+    mean_latency_ms: float
+    p99_latency_ms: float
+    intervals: List[IntervalMetrics] = field(default_factory=list)
+
+    def timeseries(self, attribute: str) -> List[float]:
+        """Extract a per-interval series by attribute/property name."""
+        return [getattr(interval, attribute) for interval in self.intervals]
+
+
+class MetricsCollector:
+    """Accumulates per-interval and per-request metrics during a simulation."""
+
+    def __init__(self, cluster_size: int, interval_s: float = 1.0, max_pipeline_accuracy: float = 1.0):
+        if interval_s <= 0:
+            raise ValueError("interval must be positive")
+        self.cluster_size = int(cluster_size)
+        self.interval_s = float(interval_s)
+        self.max_pipeline_accuracy = float(max_pipeline_accuracy)
+        self.intervals: Dict[int, IntervalMetrics] = {}
+        self._latencies_ms: List[float] = []
+        self.total_requests = 0
+        self.completed_requests = 0
+        self.dropped_requests = 0
+        self.late_requests = 0
+        self._accuracy_sum = 0.0
+        self._accuracy_count = 0
+
+    # -- recording -----------------------------------------------------------
+    def _interval(self, time_s: float) -> IntervalMetrics:
+        index = int(time_s // self.interval_s)
+        interval = self.intervals.get(index)
+        if interval is None:
+            interval = IntervalMetrics(start_s=index * self.interval_s, cluster_size=self.cluster_size)
+            self.intervals[index] = interval
+        return interval
+
+    def record_arrival(self, time_s: float) -> None:
+        self.total_requests += 1
+        self._interval(time_s).demand += 1
+
+    def record_active_workers(self, time_s: float, active_workers: int) -> None:
+        """Record the worker count in use at (the interval containing) ``time_s``."""
+        interval = self._interval(time_s)
+        interval.active_workers = max(interval.active_workers, int(active_workers))
+
+    def record_request_finished(self, request: Request) -> None:
+        if not request.is_finished or request.completion_s is None:
+            raise ValueError("request has not finished yet")
+        interval = self._interval(request.completion_s)
+        if request.status is RequestStatus.COMPLETED:
+            self.completed_requests += 1
+            interval.completed += 1
+            # Requests that legitimately produced no sink results (e.g. zero
+            # objects detected in the frame) completed successfully but have no
+            # accuracy to report, so they are excluded from the accuracy average.
+            if request.accuracy_count:
+                interval.accuracy_sum += request.mean_accuracy
+                interval.accuracy_count += 1
+                self._accuracy_sum += request.mean_accuracy
+                self._accuracy_count += 1
+            if request.latency_ms is not None:
+                self._latencies_ms.append(request.latency_ms)
+        else:
+            interval.violations += 1
+            if request.status is RequestStatus.DROPPED:
+                self.dropped_requests += 1
+                interval.dropped += 1
+            else:
+                self.late_requests += 1
+                interval.late += 1
+                # Late requests still produced results; their accuracy counts
+                # toward the achieved-accuracy average.
+                if request.accuracy_count:
+                    interval.accuracy_sum += request.mean_accuracy
+                    interval.accuracy_count += 1
+                    self._accuracy_sum += request.mean_accuracy
+                    self._accuracy_count += 1
+
+    # -- summaries ------------------------------------------------------------
+    @property
+    def violated_requests(self) -> int:
+        return self.dropped_requests + self.late_requests
+
+    def slo_violation_ratio(self) -> float:
+        finished = self.completed_requests + self.violated_requests
+        return self.violated_requests / finished if finished else 0.0
+
+    def mean_accuracy(self) -> float:
+        return self._accuracy_sum / self._accuracy_count if self._accuracy_count else 0.0
+
+    def summary(self) -> SimulationSummary:
+        intervals = [self.intervals[k] for k in sorted(self.intervals)]
+        accuracy_series = [i.mean_accuracy for i in intervals if i.accuracy_count > 0]
+        min_interval_accuracy = min(accuracy_series) if accuracy_series else 0.0
+        utilizations = [i.utilization for i in intervals]
+        workers = [i.active_workers for i in intervals]
+        latencies = np.asarray(self._latencies_ms, dtype=float)
+        return SimulationSummary(
+            total_requests=self.total_requests,
+            completed_requests=self.completed_requests,
+            violated_requests=self.violated_requests,
+            dropped_requests=self.dropped_requests,
+            late_requests=self.late_requests,
+            slo_violation_ratio=self.slo_violation_ratio(),
+            mean_accuracy=self.mean_accuracy(),
+            min_interval_accuracy=min_interval_accuracy,
+            max_accuracy_drop=max(0.0, self.max_pipeline_accuracy - min_interval_accuracy)
+            if accuracy_series
+            else 0.0,
+            mean_utilization=float(np.mean(utilizations)) if utilizations else 0.0,
+            peak_workers=max(workers) if workers else 0,
+            mean_workers=float(np.mean(workers)) if workers else 0.0,
+            mean_latency_ms=float(latencies.mean()) if latencies.size else math.nan,
+            p99_latency_ms=float(np.percentile(latencies, 99)) if latencies.size else math.nan,
+            intervals=intervals,
+        )

@@ -1,0 +1,35 @@
+"""Intra-cluster network model.
+
+Section 4.2: all servers sit in the same cluster, so the communication latency
+between any pair of servers is assumed homogeneous.  The model here is a
+constant per-hop latency with optional bounded jitter (the jitter is what
+produces the small prototype-vs-simulator differences the paper reports).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["NetworkModel"]
+
+
+class NetworkModel:
+    """Homogeneous per-hop communication latency."""
+
+    def __init__(self, latency_ms: float = 2.0, jitter_ms: float = 0.0):
+        if latency_ms < 0 or jitter_ms < 0:
+            raise ValueError("latency and jitter must be non-negative")
+        self.latency_ms = float(latency_ms)
+        self.jitter_ms = float(jitter_ms)
+
+    def sample_latency_ms(self, rng: Optional[np.random.Generator] = None) -> float:
+        """One hop's communication latency in milliseconds."""
+        if self.jitter_ms <= 0 or rng is None:
+            return self.latency_ms
+        return max(0.0, self.latency_ms + float(rng.uniform(-self.jitter_ms, self.jitter_ms)))
+
+    def sample_delay_s(self, rng: Optional[np.random.Generator] = None) -> float:
+        """One hop's communication latency in seconds."""
+        return self.sample_latency_ms(rng) / 1000.0

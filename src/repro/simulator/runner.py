@@ -1,0 +1,213 @@
+"""Simulation runner: wires a control plane, a workload and the cluster together.
+
+:class:`ServingSimulation` is the integration point used by the experiment
+harness, the examples and the end-to-end tests.  It is control-plane agnostic:
+anything exposing the small Controller protocol (``report_demand``,
+``report_multiplier``, ``step``) can drive the cluster, which is how the
+InferLine- and Proteus-style baselines are simulated on exactly the same
+substrate as Loki.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Tuple
+
+import numpy as np
+
+from repro.core.allocation import AllocationPlan
+from repro.core.dropping import DropPolicy, make_drop_policy
+from repro.core.load_balancer import BackupEntry, RoutingPlan, RoutingTable
+from repro.core.pipeline import Pipeline
+from repro.simulator.cluster import Cluster
+from repro.simulator.engine import SimulationEngine
+from repro.simulator.frontend import Frontend
+from repro.simulator.metrics import MetricsCollector, SimulationSummary
+from repro.simulator.network import NetworkModel
+from repro.simulator.query import IntermediateQuery, Request
+from repro.simulator.worker import SimWorker
+from repro.workloads.arrivals import arrivals_for_second
+from repro.workloads.content import MultiplicativeContentModel
+from repro.workloads.traces import Trace
+
+__all__ = ["ControlPlane", "SimulationConfig", "ServingSimulation"]
+
+
+class ControlPlane(Protocol):
+    """The protocol a control plane must implement to drive the simulator."""
+
+    def report_demand(self, timestamp_s: float, demand_qps: float) -> None:
+        ...  # pragma: no cover - protocol
+
+    def report_multiplier(self, variant_name: str, observed_factor: float) -> None:
+        ...  # pragma: no cover - protocol
+
+    def step(self, now_s: float, force: bool = False) -> Tuple[Optional[AllocationPlan], Optional[RoutingPlan]]:
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class SimulationConfig:
+    """Knobs of one simulation run."""
+
+    num_workers: int = 20
+    latency_slo_ms: float = 250.0
+    control_interval_s: float = 1.0
+    heartbeat_interval_s: float = 5.0
+    metrics_interval_s: float = 1.0
+    arrival_process: str = "poisson"
+    drop_policy: str = "opportunistic_rerouting"
+    content_mode: str = "poisson"
+    network_latency_ms: float = 2.0
+    network_jitter_ms: float = 0.5
+    seed: int = 0
+    #: extra simulated time after the trace ends so in-flight requests can drain
+    drain_s: float = 5.0
+    max_events: Optional[int] = None
+    #: per-task latency budgets for early dropping are the configured batch
+    #: execution time multiplied by this slack, matching the SLO/2 queueing
+    #: allowance of Section 4.1 (waiting time assumed equal to processing time)
+    budget_slack: float = 2.0
+
+
+class ServingSimulation:
+    """One simulation run of a serving system on a demand trace."""
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        control_plane: ControlPlane,
+        trace: Trace,
+        config: Optional[SimulationConfig] = None,
+        content_model: Optional[MultiplicativeContentModel] = None,
+        drop_policy: Optional[DropPolicy] = None,
+    ):
+        self.pipeline = pipeline
+        self.control_plane = control_plane
+        self.trace = trace
+        self.config = config or SimulationConfig()
+        self.engine = SimulationEngine()
+        self.rng = np.random.default_rng(self.config.seed)
+        self.network = NetworkModel(self.config.network_latency_ms, self.config.network_jitter_ms)
+        self.content_model = content_model or MultiplicativeContentModel(mode=self.config.content_mode)
+        self.drop_policy = drop_policy or make_drop_policy(self.config.drop_policy)
+        self.cluster = Cluster(self, self.config.num_workers)
+        self.frontend = Frontend(self, self.config.latency_slo_ms)
+        self.metrics = MetricsCollector(
+            cluster_size=self.config.num_workers,
+            interval_s=self.config.metrics_interval_s,
+            max_pipeline_accuracy=pipeline.max_end_to_end_accuracy(),
+        )
+        self.routing_plan: Optional[RoutingPlan] = None
+        self.current_plan: Optional[AllocationPlan] = None
+        self._next_query_id = 0
+        self._empty_table = RoutingTable()
+        self.dropped_queries = 0
+        self.forwarded_queries = 0
+        self.drop_reasons: Dict[str, int] = {}
+        #: per-task arrivals in the current demand-reporting window (consumed by
+        #: pipeline-agnostic control planes through ``report_task_demand``)
+        self.task_arrivals: Dict[str, int] = {task: 0 for task in pipeline.tasks}
+
+    # ------------------------------------------------------------------ run --
+    def run(self) -> SimulationSummary:
+        """Execute the whole trace and return the end-of-run summary."""
+        self._bootstrap()
+        for second in range(self.trace.duration_s):
+            self.engine.schedule(float(second), self._make_second_tick(second))
+        horizon = self.trace.duration_s + self.config.drain_s
+        self.engine.run(until_s=horizon, max_events=self.config.max_events)
+        return self.metrics.summary()
+
+    def _bootstrap(self) -> None:
+        """Prime the control plane with the first trace second so a plan exists at t=0."""
+        initial_demand = float(self.trace.rate_at(0)) if self.trace.duration_s else 0.0
+        self.control_plane.report_demand(0.0, initial_demand)
+        plan, routing = self.control_plane.step(0.0, force=True)
+        if plan is not None:
+            self._apply_plan(plan)
+        if routing is not None:
+            self.routing_plan = routing
+        # Pre-load the initial models: skip the initial load penalty so the
+        # system starts warm (the paper's experiments also start from a
+        # provisioned cluster).
+        for worker in self.cluster.workers:
+            worker.available_at_s = 0.0
+            worker._maybe_start_batch()
+
+    def _make_second_tick(self, second: int):
+        def tick() -> None:
+            rate = float(self.trace.rate_at(second))
+            for arrival in arrivals_for_second(rate, float(second), self.rng, process=self.config.arrival_process):
+                self.engine.schedule(float(arrival), self.frontend.submit)
+            self.engine.schedule(float(second + 1) - 1e-6, self._control_tick)
+
+        return tick
+
+    def _control_tick(self) -> None:
+        now = self.engine.now_s
+        observed = self.frontend.drain_window_demand()
+        self.control_plane.report_demand(now, float(observed))
+        if hasattr(self.control_plane, "report_task_demand"):
+            for task, count in self.task_arrivals.items():
+                self.control_plane.report_task_demand(task, float(count) / self.config.control_interval_s)
+                self.task_arrivals[task] = 0
+        if int(now) % max(1, int(self.config.heartbeat_interval_s)) == 0:
+            for variant_name, factor in self.cluster.heartbeats().items():
+                self.control_plane.report_multiplier(variant_name, factor)
+        plan, routing = self.control_plane.step(now)
+        if plan is not None:
+            self._apply_plan(plan)
+        if routing is not None:
+            self.routing_plan = routing
+        self.metrics.record_active_workers(now, self.cluster.active_workers)
+
+    def _apply_plan(self, plan: AllocationPlan) -> None:
+        self.current_plan = plan
+        self.cluster.apply_plan(plan, self.pipeline, self.engine.now_s)
+
+    # --------------------------------------------------------------- plumbing --
+    def new_intermediate_query(
+        self, request: Request, task: str, now_s: float, accuracy_so_far: float
+    ) -> IntermediateQuery:
+        query = IntermediateQuery(self._next_query_id, request, task, now_s, accuracy_so_far)
+        self._next_query_id += 1
+        return query
+
+    def routing_table_for(self, logical_id: str) -> RoutingTable:
+        if self.routing_plan is None:
+            return self._empty_table
+        return self.routing_plan.table_for(logical_id)
+
+    def backups_for(self, task: str) -> List[BackupEntry]:
+        if self.routing_plan is None:
+            return []
+        return self.routing_plan.backups_for(task)
+
+    def forward_query(self, query: IntermediateQuery, logical_worker_id: str) -> None:
+        """Send a query to the physical worker hosting ``logical_worker_id``."""
+        worker = self.cluster.resolve(logical_worker_id)
+        if worker is None:
+            self.notify_drop(query, reason=f"logical worker {logical_worker_id} not hosted")
+            return
+        self.forwarded_queries += 1
+        delay = self.network.sample_delay_s(self.rng)
+        self.engine.schedule_in(delay, lambda: worker.enqueue(query))
+
+    def notify_sink(self, query: IntermediateQuery) -> None:
+        """A query finished the last task of its path; return the result to the Frontend."""
+        delay = self.network.sample_delay_s(self.rng)
+        completion_time = self.engine.now_s + delay
+        query.request.record_sink_completion(completion_time, query.accuracy_so_far)
+        self.check_request(query.request)
+
+    def notify_drop(self, query: IntermediateQuery, reason: str = "") -> None:
+        self.dropped_queries += 1
+        if reason:
+            self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1
+        query.request.record_drop(self.engine.now_s)
+        self.check_request(query.request)
+
+    def check_request(self, request: Request) -> None:
+        if request.is_finished:
+            self.metrics.record_request_finished(request)

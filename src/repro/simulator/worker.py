@@ -1,0 +1,273 @@
+"""Simulated workers: queueing, batch formation, execution and forwarding.
+
+Each worker hosts one model-variant instance (its *assignment*).  Queries
+queue at the worker; whenever the worker is idle and its model is loaded it
+takes up to ``batch_size`` queries from the queue and executes them as one
+batch, whose duration comes from the variant's profiled latency curve.  On
+batch completion every query is either returned to the Frontend (sink tasks)
+or expanded into intermediate queries for the downstream tasks, subject to the
+configured early-dropping policy and routing tables (Section 5).
+
+Workers also record the multiplicative factors they observe and report them to
+the Controller through heartbeats, closing the estimation loop of Section 4.2.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, TYPE_CHECKING
+
+from repro.core.dropping import DropAction
+from repro.core.profiles import ModelVariant
+from repro.simulator.query import IntermediateQuery
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.simulator.runner import ServingSimulation
+
+__all__ = ["WorkerAssignment", "SimWorker"]
+
+
+@dataclass(frozen=True)
+class WorkerAssignment:
+    """What a worker is currently hosting (one row of the allocation plan).
+
+    ``expected_latency_ms`` is the profiled execution time of one batch at the
+    configured batch size; ``latency_budget_ms`` additionally includes the
+    waiting-time allowance and is what the early-dropping policies compare the
+    observed time-in-task against.
+    """
+
+    logical_id: str
+    task: str
+    variant: ModelVariant
+    batch_size: int
+    latency_budget_ms: float
+    expected_latency_ms: float
+
+
+class SimWorker:
+    """One physical worker (GPU) in the simulated cluster."""
+
+    __slots__ = (
+        "physical_id",
+        "sim",
+        "assignment",
+        "pending_assignment",
+        "queue",
+        "busy",
+        "available_at_s",
+        "active",
+        "processed_queries",
+        "processed_batches",
+        "busy_time_s",
+        "factor_observation_sum",
+        "factor_observation_count",
+    )
+
+    def __init__(self, physical_id: str, sim: "ServingSimulation"):
+        self.physical_id = physical_id
+        self.sim = sim
+        self.assignment: Optional[WorkerAssignment] = None
+        #: new same-task assignment whose variant is still loading; the worker
+        #: keeps serving with the old variant until the load completes
+        self.pending_assignment: Optional[WorkerAssignment] = None
+        self.queue: Deque[IntermediateQuery] = deque()
+        self.busy = False
+        #: time at which the currently loading model becomes available
+        self.available_at_s = 0.0
+        self.active = False
+        self.processed_queries = 0
+        self.processed_batches = 0
+        self.busy_time_s = 0.0
+        self.factor_observation_sum = 0.0
+        self.factor_observation_count = 0
+
+    # -- assignment ------------------------------------------------------------
+    def assign(self, assignment: Optional[WorkerAssignment], now_s: float) -> None:
+        """Apply a (possibly new) assignment.
+
+        Loading a different variant takes the variant's load time.  When the
+        new assignment serves the *same task* with a different variant the
+        worker keeps serving queued queries with the old variant while the new
+        one loads (make-before-break); when the task changes the worker goes
+        offline for the load and any queued queries of the old task are
+        dropped (they can no longer be served here).
+        """
+        if assignment is None:
+            # Deactivated: drain the existing queue with the current model, then idle.
+            self.active = False
+            self.pending_assignment = None
+            return
+        self.active = True
+        old = self.assignment
+        if old is None:
+            # Cold start: the model must be loaded before the first batch.
+            self.assignment = assignment
+            self.available_at_s = now_s + assignment.variant.load_time_ms / 1000.0
+            self.sim.engine.schedule(self.available_at_s, self._maybe_start_batch)
+            return
+        if old.variant.name == assignment.variant.name:
+            # Same model, possibly different batch size / budget: no reload.
+            self.assignment = assignment
+            self.pending_assignment = None
+            self._maybe_start_batch()
+            return
+        if old.task == assignment.task:
+            # Same task, different variant: keep serving with the old variant
+            # until the new one finishes loading.
+            self.pending_assignment = assignment
+            ready_at = now_s + assignment.variant.load_time_ms / 1000.0
+            self.sim.engine.schedule(ready_at, self._complete_swap)
+            return
+        # Task changed: queued queries of the old task cannot be served here.
+        for stale in list(self.queue):
+            self.sim.notify_drop(stale, reason="worker reassigned to a different task")
+        self.queue.clear()
+        self.pending_assignment = None
+        self.assignment = assignment
+        self.available_at_s = now_s + assignment.variant.load_time_ms / 1000.0
+        self.sim.engine.schedule(self.available_at_s, self._maybe_start_batch)
+
+    def _complete_swap(self) -> None:
+        """The pending same-task variant finished loading; switch over."""
+        if self.pending_assignment is not None:
+            self.assignment = self.pending_assignment
+            self.pending_assignment = None
+            self._maybe_start_batch()
+
+    @property
+    def is_loaded(self) -> bool:
+        return self.assignment is not None and self.sim.engine.now_s >= self.available_at_s - 1e-12
+
+    @property
+    def queue_length(self) -> int:
+        return len(self.queue)
+
+    # -- query intake ------------------------------------------------------------
+    def enqueue(self, query: IntermediateQuery) -> None:
+        """A query arrives at this worker (already includes network delay)."""
+        now = self.sim.engine.now_s
+        assignment = self.assignment
+        if assignment is None:
+            # No model hosted at all (should not happen when routing is consistent).
+            self.sim.notify_drop(query, reason="worker has no assignment")
+            return
+        is_last_task = not self.sim.pipeline.children(assignment.task)
+        decision = self.sim.drop_policy.on_arrival(
+            is_last_task=is_last_task,
+            remaining_slo_ms=query.remaining_slo_ms(now),
+            expected_processing_ms=assignment.expected_latency_ms,
+        )
+        if decision.action is DropAction.DROP:
+            self.sim.notify_drop(query, reason=decision.reason)
+            return
+        self.sim.task_arrivals[assignment.task] = self.sim.task_arrivals.get(assignment.task, 0) + 1
+        query.worker_arrival_s = now
+        self.queue.append(query)
+        self._maybe_start_batch()
+
+    # -- batching ----------------------------------------------------------------
+    def _maybe_start_batch(self) -> None:
+        if self.busy or not self.queue or self.assignment is None:
+            return
+        now = self.sim.engine.now_s
+        if now < self.available_at_s - 1e-12:
+            return  # model still loading; a start is scheduled for load completion
+        assignment = self.assignment
+        batch_count = min(len(self.queue), assignment.batch_size)
+        batch: List[IntermediateQuery] = [self.queue.popleft() for _ in range(batch_count)]
+        duration_s = assignment.variant.execution_latency_ms(batch_count) / 1000.0
+        self.busy = True
+        self.busy_time_s += duration_s
+        self.sim.engine.schedule_in(duration_s, lambda: self._complete_batch(batch))
+
+    def _complete_batch(self, batch: List[IntermediateQuery]) -> None:
+        assignment = self.assignment
+        self.busy = False
+        if assignment is None:  # pragma: no cover - defensive
+            for query in batch:
+                self.sim.notify_drop(query, reason="assignment removed mid-batch")
+            return
+        now = self.sim.engine.now_s
+        self.processed_batches += 1
+        for query in batch:
+            self.processed_queries += 1
+            query.accuracy_so_far *= assignment.variant.accuracy
+            self._dispatch(query, assignment, now)
+        self._maybe_start_batch()
+
+    # -- forwarding ----------------------------------------------------------------
+    def _dispatch(self, query: IntermediateQuery, assignment: WorkerAssignment, now_s: float) -> None:
+        children = self.sim.pipeline.children(assignment.task)
+        if not children:
+            self.sim.notify_sink(query)
+            return
+
+        time_in_task_ms = (now_s - query.worker_arrival_s) * 1000.0
+        request = query.request
+
+        # Sample the downstream fan-out for every outgoing edge.
+        child_counts = []
+        total_children = 0
+        for edge in children:
+            count = self.sim.content_model.sample_children(assignment.variant, edge, self.sim.rng)
+            child_counts.append((edge, count))
+            total_children += count
+        self.factor_observation_sum += total_children
+        self.factor_observation_count += 1
+
+        if total_children == 0:
+            # Nothing detected downstream; this branch of the request is done.
+            request.record_internal_completion(now_s)
+            self.sim.check_request(request)
+            return
+
+        request.add_outstanding(total_children)
+        routing_table = self.sim.routing_table_for(assignment.logical_id)
+        for edge, count in child_counts:
+            for _ in range(count):
+                child_query = self.sim.new_intermediate_query(request, edge.child, now_s, query.accuracy_so_far)
+                self._forward(child_query, edge.child, time_in_task_ms, assignment, routing_table)
+        # The parent query itself is finished (its children carry on).
+        request.record_internal_completion(now_s)
+        self.sim.check_request(request)
+
+    def _forward(self, child_query, child_task: str, time_in_task_ms: float, assignment: WorkerAssignment, routing_table) -> None:
+        planned_entry = routing_table.choose(child_task, self.sim.rng) if routing_table is not None else None
+        backups = self.sim.backups_for(child_task)
+        decision = self.sim.drop_policy.on_forward(
+            time_in_task_ms=time_in_task_ms,
+            budget_ms=assignment.latency_budget_ms,
+            planned_entry=planned_entry,
+            backups=backups,
+            remaining_slo_ms=child_query.remaining_slo_ms(self.sim.engine.now_s),
+            rng=self.sim.rng,
+        )
+        if decision.action is DropAction.DROP:
+            self.sim.notify_drop(child_query, reason=decision.reason)
+            return
+        if decision.action is DropAction.REROUTE and decision.target is not None:
+            target_id = decision.target.worker_id
+        elif planned_entry is not None:
+            target_id = planned_entry.worker_id
+        elif backups:
+            target_id = backups[0].worker_id
+        else:
+            self.sim.notify_drop(child_query, reason="no downstream worker available")
+            return
+        self.sim.forward_query(child_query, target_id)
+
+    # -- heartbeats -------------------------------------------------------------------
+    def heartbeat(self) -> Optional[float]:
+        """Return (and reset) the mean observed multiplicative factor since the last heartbeat."""
+        if self.factor_observation_count == 0:
+            return None
+        mean = self.factor_observation_sum / self.factor_observation_count
+        self.factor_observation_sum = 0.0
+        self.factor_observation_count = 0
+        return mean
+
+    def __repr__(self):  # pragma: no cover - debug helper
+        hosted = self.assignment.logical_id if self.assignment else "-"
+        return f"SimWorker({self.physical_id}, hosting={hosted}, queue={len(self.queue)})"

@@ -1,0 +1,91 @@
+"""Mixed-integer linear programming substrate used by the Loki control plane.
+
+The paper solves its resource-allocation problem with Gurobi.  This package
+provides a from-scratch replacement consisting of:
+
+* :mod:`repro.solver.model` -- a small modelling layer (variables, linear
+  expressions, constraints, objective) that is backend agnostic.
+* :mod:`repro.solver.scipy_backend` -- a backend on top of
+  ``scipy.optimize.milp`` (HiGHS), used by default when SciPy is available.
+* :mod:`repro.solver.simplex` -- a dense, bounded-variable two-phase primal
+  simplex implementation in pure NumPy.
+* :mod:`repro.solver.branch_and_bound` -- a best-first branch-and-bound MILP
+  solver whose LP relaxations can be solved either by the built-in simplex or
+  by ``scipy.optimize.linprog``.
+* :mod:`repro.solver.greedy` -- an LP-relaxation rounding heuristic that
+  produces feasible (not necessarily optimal) integer solutions quickly.
+
+All backends consume the same :class:`~repro.solver.model.Model` object and
+return a :class:`~repro.solver.model.Solution`.
+"""
+
+from repro.solver.model import (
+    INFEASIBLE,
+    OPTIMAL,
+    UNBOUNDED,
+    ERROR,
+    Constraint,
+    LinExpr,
+    Model,
+    Sense,
+    Solution,
+    SolverError,
+    Variable,
+)
+from repro.solver.scipy_backend import ScipyMilpBackend, solve_with_scipy
+from repro.solver.branch_and_bound import BranchAndBoundSolver
+from repro.solver.greedy import GreedyRoundingSolver
+from repro.solver.simplex import SimplexSolver, SimplexResult
+
+__all__ = [
+    "INFEASIBLE",
+    "OPTIMAL",
+    "UNBOUNDED",
+    "ERROR",
+    "Constraint",
+    "LinExpr",
+    "Model",
+    "Sense",
+    "Solution",
+    "SolverError",
+    "Variable",
+    "ScipyMilpBackend",
+    "solve_with_scipy",
+    "BranchAndBoundSolver",
+    "GreedyRoundingSolver",
+    "SimplexSolver",
+    "SimplexResult",
+    "solve",
+]
+
+
+def solve(model, backend="auto", **kwargs):
+    """Solve ``model`` with the requested backend.
+
+    Parameters
+    ----------
+    model:
+        A :class:`repro.solver.model.Model` instance.
+    backend:
+        One of ``"auto"``, ``"scipy"``, ``"bnb"`` (branch and bound) or
+        ``"greedy"``.  ``"auto"`` prefers the SciPy/HiGHS backend and falls
+        back to branch and bound if SciPy is unavailable.
+    kwargs:
+        Forwarded to the backend constructor.
+
+    Returns
+    -------
+    Solution
+    """
+    if backend == "auto":
+        try:
+            return ScipyMilpBackend(**kwargs).solve(model)
+        except ImportError:  # pragma: no cover - scipy is a hard dependency here
+            return BranchAndBoundSolver(**kwargs).solve(model)
+    if backend == "scipy":
+        return ScipyMilpBackend(**kwargs).solve(model)
+    if backend == "bnb":
+        return BranchAndBoundSolver(**kwargs).solve(model)
+    if backend == "greedy":
+        return GreedyRoundingSolver(**kwargs).solve(model)
+    raise ValueError(f"unknown solver backend: {backend!r}")

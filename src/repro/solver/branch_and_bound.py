@@ -1,0 +1,215 @@
+"""Best-first branch-and-bound MILP solver.
+
+The LP relaxations are solved either with the built-in pure-NumPy simplex
+(:mod:`repro.solver.simplex`) or with ``scipy.optimize.linprog``; branching is
+on the most fractional integer variable.  This backend serves two purposes in
+the reproduction:
+
+* it removes the dependency on HiGHS/Gurobi from the critical path, and
+* it is an ablation point (Section 6.5 style runtime measurements compare the
+  HiGHS backend, this backend and the greedy heuristic).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.solver.model import (
+    ERROR,
+    INFEASIBLE,
+    OPTIMAL,
+    UNBOUNDED,
+    Model,
+    Solution,
+)
+from repro.solver.simplex import LinProgProblem, SimplexSolver
+
+__all__ = ["BranchAndBoundSolver"]
+
+_INT_TOL = 1e-6
+
+
+@dataclass(order=True)
+class _Node:
+    """A node in the branch-and-bound tree, ordered by its LP bound."""
+
+    bound: float
+    sequence: int = field(compare=True)
+    lb: np.ndarray = field(compare=False, default=None)
+    ub: np.ndarray = field(compare=False, default=None)
+    depth: int = field(compare=False, default=0)
+
+
+class BranchAndBoundSolver:
+    """Solve a MILP by LP-relaxation branch and bound.
+
+    Parameters
+    ----------
+    relaxation:
+        ``"scipy"`` (default) uses ``scipy.optimize.linprog`` (HiGHS LP) for
+        node relaxations; ``"simplex"`` uses the built-in dense simplex.
+    max_nodes:
+        Node budget; the incumbent (if any) is returned with
+        ``info["optimal_proven"] = False`` when exhausted.
+    time_limit:
+        Wall-clock budget in seconds.
+    absolute_gap:
+        Stop when the incumbent is within this absolute gap of the best bound.
+    """
+
+    def __init__(
+        self,
+        relaxation: str = "scipy",
+        max_nodes: int = 20000,
+        time_limit: Optional[float] = 60.0,
+        absolute_gap: float = 1e-6,
+    ):
+        if relaxation not in ("scipy", "simplex"):
+            raise ValueError(f"unknown relaxation engine: {relaxation!r}")
+        self.relaxation = relaxation
+        self.max_nodes = max_nodes
+        self.time_limit = time_limit
+        self.absolute_gap = absolute_gap
+
+    # -- public API -------------------------------------------------------
+    def solve(self, model: Model) -> Solution:
+        start = time.perf_counter()
+        if model.num_vars == 0:
+            return Solution(status=OPTIMAL, objective=model.objective.constant, values={}, x=np.zeros(0))
+
+        c, A_ub, b_ub, A_eq, b_eq, integrality = model.to_standard_form()
+        lb0, ub0 = model.bounds_arrays()
+        integer_idx = np.where(integrality > 0)[0]
+
+        # Root relaxation.
+        status, x_root, obj_root = self._solve_relaxation(c, A_ub, b_ub, A_eq, b_eq, lb0, ub0)
+        nodes_explored = 1
+        if status == "infeasible":
+            return Solution(status=INFEASIBLE, info={"backend": "bnb", "nodes": nodes_explored})
+        if status == "unbounded":
+            return Solution(status=UNBOUNDED, info={"backend": "bnb", "nodes": nodes_explored})
+        if status != "optimal":
+            return Solution(status=ERROR, info={"backend": "bnb", "nodes": nodes_explored})
+
+        counter = itertools.count()
+        heap: List[_Node] = [_Node(bound=obj_root, sequence=next(counter), lb=lb0, ub=ub0, depth=0)]
+
+        incumbent_x: Optional[np.ndarray] = None
+        incumbent_obj = math.inf
+
+        while heap:
+            if nodes_explored >= self.max_nodes:
+                break
+            if self.time_limit is not None and time.perf_counter() - start > self.time_limit:
+                break
+            node = heapq.heappop(heap)
+            if node.bound >= incumbent_obj - self.absolute_gap:
+                continue  # pruned by bound
+
+            status, x, obj = self._solve_relaxation(c, A_ub, b_ub, A_eq, b_eq, node.lb, node.ub)
+            nodes_explored += 1
+            if status != "optimal" or obj >= incumbent_obj - self.absolute_gap:
+                continue
+
+            frac_idx = self._most_fractional(x, integer_idx)
+            if frac_idx is None:
+                # Integer feasible.
+                incumbent_obj = obj
+                incumbent_x = x
+                continue
+
+            value = x[frac_idx]
+            floor_v, ceil_v = math.floor(value), math.ceil(value)
+
+            down_ub = node.ub.copy()
+            down_ub[frac_idx] = floor_v
+            if node.lb[frac_idx] <= floor_v:
+                heapq.heappush(
+                    heap,
+                    _Node(bound=obj, sequence=next(counter), lb=node.lb.copy(), ub=down_ub, depth=node.depth + 1),
+                )
+            up_lb = node.lb.copy()
+            up_lb[frac_idx] = ceil_v
+            if ceil_v <= node.ub[frac_idx]:
+                heapq.heappush(
+                    heap,
+                    _Node(bound=obj, sequence=next(counter), lb=up_lb, ub=node.ub.copy(), depth=node.depth + 1),
+                )
+
+        elapsed = time.perf_counter() - start
+        info = {
+            "backend": "bnb",
+            "relaxation": self.relaxation,
+            "nodes": nodes_explored,
+            "runtime_s": elapsed,
+            "optimal_proven": not heap and incumbent_x is not None,
+        }
+        if incumbent_x is None:
+            # Either genuinely infeasible as a MILP or budget exhausted without
+            # an incumbent; report infeasible only when the tree is exhausted.
+            status = INFEASIBLE if not heap else ERROR
+            return Solution(status=status, info=info)
+
+        x = incumbent_x.copy()
+        for idx in integer_idx:
+            x[idx] = round(x[idx])
+        return model.make_solution(x, status=OPTIMAL, **info)
+
+    # -- internals --------------------------------------------------------
+    def _solve_relaxation(self, c, A_ub, b_ub, A_eq, b_eq, lb, ub) -> Tuple[str, Optional[np.ndarray], float]:
+        if self.relaxation == "scipy":
+            return self._solve_relaxation_scipy(c, A_ub, b_ub, A_eq, b_eq, lb, ub)
+        return self._solve_relaxation_simplex(c, A_ub, b_ub, A_eq, b_eq, lb, ub)
+
+    @staticmethod
+    def _solve_relaxation_scipy(c, A_ub, b_ub, A_eq, b_eq, lb, ub):
+        from scipy import optimize
+
+        bounds = list(zip(lb, [None if math.isinf(u) else u for u in ub]))
+        res = optimize.linprog(
+            c,
+            A_ub=A_ub if A_ub.shape[0] else None,
+            b_ub=b_ub if b_ub.shape[0] else None,
+            A_eq=A_eq if A_eq.shape[0] else None,
+            b_eq=b_eq if b_eq.shape[0] else None,
+            bounds=bounds,
+            method="highs",
+        )
+        if res.status == 2:
+            return "infeasible", None, math.inf
+        if res.status == 3:
+            return "unbounded", None, -math.inf
+        if not res.success:
+            return "error", None, math.inf
+        return "optimal", np.asarray(res.x, dtype=float), float(res.fun)
+
+    @staticmethod
+    def _solve_relaxation_simplex(c, A_ub, b_ub, A_eq, b_eq, lb, ub):
+        problem = LinProgProblem(c=c, A_ub=A_ub, b_ub=b_ub, A_eq=A_eq, b_eq=b_eq, lb=lb, ub=ub)
+        res = SimplexSolver().solve(problem)
+        if res.status == "infeasible":
+            return "infeasible", None, math.inf
+        if res.status == "unbounded":
+            return "unbounded", None, -math.inf
+        if not res.success:
+            return "error", None, math.inf
+        return "optimal", res.x, res.objective
+
+    @staticmethod
+    def _most_fractional(x: np.ndarray, integer_idx: np.ndarray) -> Optional[int]:
+        """Index of the integer variable whose value is farthest from integral."""
+        if integer_idx.size == 0:
+            return None
+        values = x[integer_idx]
+        frac = np.abs(values - np.round(values))
+        worst = int(np.argmax(frac))
+        if frac[worst] <= _INT_TOL:
+            return None
+        return int(integer_idx[worst])

@@ -1,0 +1,131 @@
+"""LP-relaxation rounding heuristic for MILPs.
+
+This backend trades optimality for speed: it solves the LP relaxation once,
+rounds integer variables up (allocation problems in Loki are covering-style,
+so rounding up preserves throughput feasibility), then runs a small repair /
+trim loop.  It is used for two things in the reproduction:
+
+* as a fast fallback when the MILP solve budget is exceeded, and
+* as an ablation point showing the accuracy/latency cost of a cheap allocator
+  relative to the optimal MILP plan.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.solver.model import ERROR, INFEASIBLE, OPTIMAL, Model, Solution
+from repro.solver.branch_and_bound import BranchAndBoundSolver
+
+__all__ = ["GreedyRoundingSolver"]
+
+
+class GreedyRoundingSolver:
+    """Round the LP relaxation to a feasible integer solution.
+
+    Parameters
+    ----------
+    relaxation:
+        LP engine, ``"scipy"`` or ``"simplex"`` (see
+        :class:`~repro.solver.branch_and_bound.BranchAndBoundSolver`).
+    trim:
+        When True, after rounding up the solver greedily decrements integer
+        variables (largest objective burden first for minimisation) while the
+        point stays feasible, tightening the objective.
+    """
+
+    def __init__(self, relaxation: str = "scipy", trim: bool = True):
+        self.relaxation = relaxation
+        self.trim = trim
+        self._bnb = BranchAndBoundSolver(relaxation=relaxation)
+
+    def solve(self, model: Model) -> Solution:
+        start = time.perf_counter()
+        if model.num_vars == 0:
+            return Solution(status=OPTIMAL, objective=model.objective.constant, values={}, x=np.zeros(0))
+
+        c, A_ub, b_ub, A_eq, b_eq, _ = model.to_standard_form()
+        lb, ub = model.bounds_arrays()
+        status, x, _ = self._bnb._solve_relaxation(c, A_ub, b_ub, A_eq, b_eq, lb, ub)
+        if status == "infeasible":
+            return Solution(status=INFEASIBLE, info={"backend": "greedy"})
+        if status != "optimal":
+            return Solution(status=ERROR, info={"backend": "greedy", "relaxation_status": status})
+
+        x = np.asarray(x, dtype=float)
+        integer_idx = model.integer_indices
+
+        # Round integers up (covering direction), clipped to their bounds.
+        for idx in integer_idx:
+            x[idx] = min(math.ceil(x[idx] - 1e-9), ub[idx])
+            x[idx] = max(x[idx], lb[idx])
+
+        if not model.is_feasible_point(x):
+            # Rounding up can violate packing constraints (e.g. the cluster
+            # size cap).  Try a simple repair: decrement the integer variable
+            # with the smallest LP fractional part until feasible or stuck.
+            x = self._repair(model, x, integer_idx)
+            if x is None:
+                return Solution(status=INFEASIBLE, info={"backend": "greedy", "reason": "rounding repair failed"})
+
+        if self.trim:
+            x = self._trim(model, x, integer_idx)
+
+        elapsed = time.perf_counter() - start
+        return model.make_solution(x, status=OPTIMAL, backend="greedy", runtime_s=elapsed, optimal_proven=False)
+
+    # -- internals --------------------------------------------------------
+    @staticmethod
+    def _repair(model: Model, x: np.ndarray, integer_idx) -> Optional[np.ndarray]:
+        x = x.copy()
+        lb, _ = model.bounds_arrays()
+        for _ in range(10 * max(1, len(integer_idx))):
+            if model.is_feasible_point(x):
+                return x
+            # Decrement the integer variable that reduces total constraint
+            # violation the most.
+            best_idx, best_violation = None, GreedyRoundingSolver._total_violation(model, x)
+            for idx in integer_idx:
+                if x[idx] - 1 < lb[idx]:
+                    continue
+                x[idx] -= 1
+                violation = GreedyRoundingSolver._total_violation(model, x)
+                if violation < best_violation - 1e-12:
+                    best_violation, best_idx = violation, idx
+                x[idx] += 1
+            if best_idx is None:
+                return None
+            x[best_idx] -= 1
+        return x if model.is_feasible_point(x) else None
+
+    @staticmethod
+    def _total_violation(model: Model, x: np.ndarray) -> float:
+        return sum(con.violation(x) for con in model.constraints)
+
+    @staticmethod
+    def _trim(model: Model, x: np.ndarray, integer_idx) -> np.ndarray:
+        """Greedily decrement integer variables while staying feasible and improving the objective."""
+        x = x.copy()
+        lb, _ = model.bounds_arrays()
+        obj_coeffs = np.zeros(model.num_vars)
+        for idx, coeff in model.objective.coeffs.items():
+            obj_coeffs[idx] = coeff * model.objective_sign  # minimisation direction
+        # Only trimming variables with positive minimisation cost can improve.
+        candidates = [idx for idx in integer_idx if obj_coeffs[idx] > 0]
+        candidates.sort(key=lambda idx: -obj_coeffs[idx])
+        improved = True
+        while improved:
+            improved = False
+            for idx in candidates:
+                while x[idx] - 1 >= lb[idx]:
+                    x[idx] -= 1
+                    if model.is_feasible_point(x):
+                        improved = True
+                    else:
+                        x[idx] += 1
+                        break
+        return x

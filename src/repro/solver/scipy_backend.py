@@ -1,0 +1,114 @@
+"""MILP backend on top of ``scipy.optimize.milp`` (HiGHS).
+
+This is the default engine used by the Loki resource manager.  It plays the
+role Gurobi plays in the paper: the modelling layer in
+:mod:`repro.solver.model` is converted into the matrix form expected by
+HiGHS and solved to optimality.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Optional
+
+import numpy as np
+from scipy import optimize, sparse
+
+from repro.solver.model import (
+    ERROR,
+    INFEASIBLE,
+    OPTIMAL,
+    UNBOUNDED,
+    Model,
+    Solution,
+    SolverError,
+)
+
+__all__ = ["ScipyMilpBackend", "solve_with_scipy"]
+
+
+class ScipyMilpBackend:
+    """Solve a :class:`~repro.solver.model.Model` via ``scipy.optimize.milp``.
+
+    Parameters
+    ----------
+    time_limit:
+        Wall-clock limit (seconds) passed to HiGHS.  ``None`` means no limit.
+    mip_rel_gap:
+        Relative MIP gap at which the solver may stop early.
+    presolve:
+        Whether HiGHS presolve is enabled.
+    """
+
+    def __init__(
+        self,
+        time_limit: Optional[float] = None,
+        mip_rel_gap: float = 1e-6,
+        presolve: bool = True,
+    ):
+        self.time_limit = time_limit
+        self.mip_rel_gap = mip_rel_gap
+        self.presolve = presolve
+
+    def solve(self, model: Model) -> Solution:
+        if model.num_vars == 0:
+            return Solution(status=OPTIMAL, objective=model.objective.constant, values={}, x=np.zeros(0))
+
+        c, A_ub, b_ub, A_eq, b_eq, integrality = model.to_standard_form()
+        lbs, ubs = model.bounds_arrays()
+        bounds = optimize.Bounds(lbs, ubs)
+
+        constraints = []
+        if A_ub.shape[0]:
+            constraints.append(
+                optimize.LinearConstraint(sparse.csr_matrix(A_ub), -np.inf * np.ones(A_ub.shape[0]), b_ub)
+            )
+        if A_eq.shape[0]:
+            constraints.append(optimize.LinearConstraint(sparse.csr_matrix(A_eq), b_eq, b_eq))
+
+        options = {"mip_rel_gap": self.mip_rel_gap, "presolve": self.presolve}
+        if self.time_limit is not None:
+            options["time_limit"] = float(self.time_limit)
+
+        start = time.perf_counter()
+        try:
+            result = optimize.milp(
+                c=c,
+                constraints=constraints,
+                integrality=integrality,
+                bounds=bounds,
+                options=options,
+            )
+        except Exception as exc:  # pragma: no cover - defensive
+            raise SolverError(f"scipy.optimize.milp failed: {exc}") from exc
+        elapsed = time.perf_counter() - start
+
+        info = {
+            "backend": "scipy-highs",
+            "runtime_s": elapsed,
+            "message": getattr(result, "message", ""),
+            "mip_gap": getattr(result, "mip_gap", math.nan),
+        }
+
+        # scipy.optimize.milp status codes: 0 optimal, 1 iteration/time limit,
+        # 2 infeasible, 3 unbounded, 4 other.
+        if result.status == 2:
+            return Solution(status=INFEASIBLE, info=info)
+        if result.status == 3:
+            return Solution(status=UNBOUNDED, info=info)
+        if result.x is None:
+            return Solution(status=ERROR, info=info)
+
+        x = np.asarray(result.x, dtype=float)
+        # Snap integer variables to the nearest integer to remove tiny
+        # numerical noise from the relaxation.
+        for idx in model.integer_indices:
+            x[idx] = round(x[idx])
+        solution = model.make_solution(x, status=OPTIMAL, **info)
+        return solution
+
+
+def solve_with_scipy(model: Model, **kwargs) -> Solution:
+    """Convenience wrapper: ``ScipyMilpBackend(**kwargs).solve(model)``."""
+    return ScipyMilpBackend(**kwargs).solve(model)

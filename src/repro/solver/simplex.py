@@ -1,0 +1,289 @@
+"""A dense two-phase primal simplex solver in pure NumPy.
+
+This is the linear-programming kernel underneath the pure-Python branch and
+bound backend (:mod:`repro.solver.branch_and_bound`).  It exists so the whole
+Loki control plane can run without SciPy's HiGHS bindings, and so that the
+solver substrate of this reproduction is genuinely built from scratch as the
+project brief requires.
+
+Scope: problems of the form
+
+.. math::
+
+    \\min c^T x \\quad \\text{s.t.} \\quad A_{ub} x \\le b_{ub},\\;
+    A_{eq} x = b_{eq},\\; l \\le x \\le u
+
+with finite lower bounds (Loki's allocation problems always have
+``lb = 0``).  Upper bounds may be infinite; finite upper bounds are handled by
+adding explicit bound rows, which keeps the implementation simple at the cost
+of a slightly larger tableau -- acceptable for the problem sizes Loki
+produces (at most a few thousand rows).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["SimplexResult", "SimplexSolver", "LinProgProblem"]
+
+_EPS = 1e-9
+
+
+@dataclass
+class LinProgProblem:
+    """Matrix form of an LP (minimisation)."""
+
+    c: np.ndarray
+    A_ub: np.ndarray
+    b_ub: np.ndarray
+    A_eq: np.ndarray
+    b_eq: np.ndarray
+    lb: np.ndarray
+    ub: np.ndarray
+
+    def __post_init__(self):
+        self.c = np.asarray(self.c, dtype=float)
+        n = self.c.shape[0]
+        self.A_ub = np.asarray(self.A_ub, dtype=float).reshape(-1, n) if np.size(self.A_ub) else np.zeros((0, n))
+        self.b_ub = np.asarray(self.b_ub, dtype=float).reshape(-1)
+        self.A_eq = np.asarray(self.A_eq, dtype=float).reshape(-1, n) if np.size(self.A_eq) else np.zeros((0, n))
+        self.b_eq = np.asarray(self.b_eq, dtype=float).reshape(-1)
+        self.lb = np.asarray(self.lb, dtype=float)
+        self.ub = np.asarray(self.ub, dtype=float)
+
+    @property
+    def num_vars(self) -> int:
+        return self.c.shape[0]
+
+
+@dataclass
+class SimplexResult:
+    """Outcome of a simplex solve."""
+
+    status: str  # "optimal" | "infeasible" | "unbounded" | "error"
+    x: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    objective: float = math.nan
+    iterations: int = 0
+    message: str = ""
+
+    @property
+    def success(self) -> bool:
+        return self.status == "optimal"
+
+
+class SimplexSolver:
+    """Two-phase dense primal simplex.
+
+    Parameters
+    ----------
+    max_iterations:
+        Hard cap on pivot steps across both phases.
+    bland:
+        If True, always use Bland's anti-cycling rule.  Otherwise Dantzig's
+        rule is used and the solver switches to Bland's rule automatically
+        after ``degenerate_switch`` consecutive degenerate pivots.
+    """
+
+    def __init__(self, max_iterations: int = 20000, bland: bool = False, degenerate_switch: int = 50):
+        self.max_iterations = max_iterations
+        self.bland = bland
+        self.degenerate_switch = degenerate_switch
+
+    # -- public API -------------------------------------------------------
+    def solve(self, problem: LinProgProblem) -> SimplexResult:
+        """Solve the LP and return a :class:`SimplexResult`."""
+        n = problem.num_vars
+        if n == 0:
+            return SimplexResult(status="optimal", x=np.zeros(0), objective=0.0)
+
+        lb = problem.lb.copy()
+        ub = problem.ub.copy()
+        if np.any(~np.isfinite(lb)):
+            return SimplexResult(status="error", message="simplex backend requires finite lower bounds")
+        if np.any(lb > ub + _EPS):
+            return SimplexResult(status="infeasible", message="variable bounds are inconsistent")
+
+        # Shift variables so that the working variables y = x - lb satisfy y >= 0.
+        shift = lb
+        c = problem.c
+        A_ub = problem.A_ub
+        b_ub = problem.b_ub - A_ub @ shift if A_ub.shape[0] else problem.b_ub
+        A_eq = problem.A_eq
+        b_eq = problem.b_eq - A_eq @ shift if A_eq.shape[0] else problem.b_eq
+
+        # Finite upper bounds become extra <= rows: y_j <= ub_j - lb_j.
+        finite_ub = np.where(np.isfinite(ub))[0]
+        if finite_ub.size:
+            bound_rows = np.zeros((finite_ub.size, n))
+            bound_rows[np.arange(finite_ub.size), finite_ub] = 1.0
+            bound_rhs = ub[finite_ub] - lb[finite_ub]
+            A_ub = np.vstack([A_ub, bound_rows]) if A_ub.shape[0] else bound_rows
+            b_ub = np.concatenate([b_ub, bound_rhs]) if b_ub.shape[0] else bound_rhs
+
+        result = self._two_phase(c, A_ub, b_ub, A_eq, b_eq, n)
+        if result.status == "optimal":
+            x = result.x + shift
+            result = SimplexResult(
+                status="optimal",
+                x=x,
+                objective=float(problem.c @ x),
+                iterations=result.iterations,
+                message=result.message,
+            )
+        return result
+
+    # -- internals --------------------------------------------------------
+    def _two_phase(self, c, A_ub, b_ub, A_eq, b_eq, n) -> SimplexResult:
+        """Standard-form solve on nonnegative variables ``y``."""
+        m_ub, m_eq = A_ub.shape[0], A_eq.shape[0]
+        m = m_ub + m_eq
+        if m == 0:
+            # Unconstrained nonnegative minimisation: optimum is 0 unless some
+            # objective coefficient is negative, in which case it is unbounded.
+            if np.any(c < -_EPS):
+                return SimplexResult(status="unbounded", message="no constraints and negative reduced cost")
+            return SimplexResult(status="optimal", x=np.zeros(n), objective=0.0)
+
+        # Build the full constraint matrix with slack columns for <= rows.
+        A = np.zeros((m, n + m_ub))
+        b = np.zeros(m)
+        if m_ub:
+            A[:m_ub, :n] = A_ub
+            A[:m_ub, n : n + m_ub] = np.eye(m_ub)
+            b[:m_ub] = b_ub
+        if m_eq:
+            A[m_ub:, :n] = A_eq
+            b[m_ub:] = b_eq
+
+        # Make every right-hand side nonnegative.
+        neg = b < 0
+        A[neg] *= -1.0
+        b[neg] *= -1.0
+
+        total_structural = n + m_ub
+
+        # Phase 1: add one artificial variable per row, minimise their sum.
+        A1 = np.hstack([A, np.eye(m)])
+        c1 = np.concatenate([np.zeros(total_structural), np.ones(m)])
+        basis = list(range(total_structural, total_structural + m))
+        tableau, basis = self._build_tableau(A1, b, c1, basis)
+        status, iters1 = self._iterate(tableau, basis, total_structural + m)
+        if status != "optimal":
+            return SimplexResult(status="error", message="phase-1 simplex failed", iterations=iters1)
+        phase1_obj = -tableau[-1, -1]
+        if phase1_obj > 1e-7:
+            return SimplexResult(status="infeasible", iterations=iters1, message="phase-1 objective positive")
+
+        # Drive any artificial variables out of the basis where possible.
+        self._remove_artificials(tableau, basis, total_structural)
+
+        # Phase 2: drop artificial columns and install the real objective.
+        tableau2 = np.delete(tableau, np.s_[total_structural : total_structural + m], axis=1)
+        c2 = np.concatenate([c, np.zeros(m_ub)])
+        self._install_objective(tableau2, basis, c2)
+        status, iters2 = self._iterate(tableau2, basis, total_structural)
+        if status == "unbounded":
+            return SimplexResult(status="unbounded", iterations=iters1 + iters2)
+        if status != "optimal":
+            return SimplexResult(status="error", message="phase-2 simplex failed", iterations=iters1 + iters2)
+
+        x_full = np.zeros(total_structural)
+        for row, col in enumerate(basis):
+            if col < total_structural:
+                x_full[col] = tableau2[row, -1]
+        x = np.maximum(x_full[:n], 0.0)
+        return SimplexResult(status="optimal", x=x, objective=float(c @ x), iterations=iters1 + iters2)
+
+    @staticmethod
+    def _build_tableau(A, b, c, basis):
+        m, total = A.shape
+        tableau = np.zeros((m + 1, total + 1))
+        tableau[:m, :total] = A
+        tableau[:m, -1] = b
+        tableau[-1, :total] = c
+        # Price out the initial basis so reduced costs are correct.
+        for row, col in enumerate(basis):
+            if abs(tableau[-1, col]) > _EPS:
+                tableau[-1, :] -= tableau[-1, col] * tableau[row, :]
+        return tableau, basis
+
+    @staticmethod
+    def _install_objective(tableau, basis, c):
+        total = tableau.shape[1] - 1
+        tableau[-1, :] = 0.0
+        tableau[-1, :total] = c
+        for row, col in enumerate(basis):
+            if abs(tableau[-1, col]) > _EPS:
+                tableau[-1, :] -= tableau[-1, col] * tableau[row, :]
+
+    def _iterate(self, tableau, basis, num_columns):
+        """Run simplex pivots until optimality / unboundedness."""
+        m = tableau.shape[0] - 1
+        iterations = 0
+        degenerate_run = 0
+        use_bland = self.bland
+        while iterations < self.max_iterations:
+            reduced = tableau[-1, :num_columns]
+            if use_bland:
+                candidates = np.where(reduced < -_EPS)[0]
+                if candidates.size == 0:
+                    return "optimal", iterations
+                pivot_col = int(candidates[0])
+            else:
+                pivot_col = int(np.argmin(reduced))
+                if reduced[pivot_col] >= -_EPS:
+                    return "optimal", iterations
+
+            column = tableau[:m, pivot_col]
+            rhs = tableau[:m, -1]
+            positive = column > _EPS
+            if not np.any(positive):
+                return "unbounded", iterations
+            ratios = np.full(m, np.inf)
+            ratios[positive] = rhs[positive] / column[positive]
+            pivot_row = int(np.argmin(ratios))
+            if use_bland:
+                best = ratios[pivot_row]
+                ties = np.where(np.abs(ratios - best) <= _EPS)[0]
+                # Bland: among ties pick the row whose basic variable has the
+                # smallest index.
+                pivot_row = int(min(ties, key=lambda r: basis[r]))
+
+            if ratios[pivot_row] <= _EPS:
+                degenerate_run += 1
+                if degenerate_run >= self.degenerate_switch:
+                    use_bland = True
+            else:
+                degenerate_run = 0
+
+            self._pivot(tableau, pivot_row, pivot_col)
+            basis[pivot_row] = pivot_col
+            iterations += 1
+        return "error", iterations
+
+    @staticmethod
+    def _pivot(tableau, row, col):
+        tableau[row, :] /= tableau[row, col]
+        pivot_row = tableau[row, :]
+        factors = tableau[:, col].copy()
+        factors[row] = 0.0
+        tableau -= np.outer(factors, pivot_row)
+        # Clean numerical dust in the pivot column.
+        tableau[:, col] = 0.0
+        tableau[row, col] = 1.0
+
+    @staticmethod
+    def _remove_artificials(tableau, basis, num_structural):
+        """Pivot artificial variables out of the basis when a structural column is available."""
+        m = tableau.shape[0] - 1
+        for row in range(m):
+            if basis[row] >= num_structural:
+                candidates = np.where(np.abs(tableau[row, :num_structural]) > 1e-7)[0]
+                if candidates.size:
+                    col = int(candidates[0])
+                    SimplexSolver._pivot(tableau, row, col)
+                    basis[row] = col

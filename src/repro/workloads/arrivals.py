@@ -1,0 +1,54 @@
+"""Arrival processes: turn a per-second rate trace into individual arrival times."""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.workloads.traces import Trace
+
+__all__ = ["arrivals_for_second", "arrivals_from_trace"]
+
+
+def arrivals_for_second(
+    rate_qps: float,
+    second_start_s: float,
+    rng: np.random.Generator,
+    process: str = "poisson",
+) -> np.ndarray:
+    """Arrival times within ``[second_start_s, second_start_s + 1)``.
+
+    ``process`` selects between a Poisson process (the count is Poisson
+    distributed and arrivals are uniform within the second) and a
+    deterministic evenly-spaced process (useful for the simulator-validation
+    experiment, where removing arrival randomness isolates control-plane
+    differences).
+    """
+    if rate_qps < 0:
+        raise ValueError("rate cannot be negative")
+    if rate_qps == 0:
+        return np.empty(0)
+    if process == "poisson":
+        count = int(rng.poisson(rate_qps))
+        if count == 0:
+            return np.empty(0)
+        offsets = np.sort(rng.uniform(0.0, 1.0, size=count))
+    elif process == "uniform":
+        count = int(round(rate_qps))
+        if count == 0:
+            return np.empty(0)
+        offsets = (np.arange(count) + 0.5) / count
+    else:
+        raise ValueError(f"unknown arrival process {process!r}")
+    return second_start_s + offsets
+
+
+def arrivals_from_trace(
+    trace: Trace,
+    rng: np.random.Generator,
+    process: str = "poisson",
+) -> Iterator[np.ndarray]:
+    """Yield the arrival times of each trace second in order."""
+    for second, rate in enumerate(trace.qps):
+        yield arrivals_for_second(float(rate), float(second), rng, process=process)

@@ -1,0 +1,46 @@
+"""Synthetic model zoo: variant families used by the paper's two pipelines.
+
+The paper profiles 32 real model variants (YOLOv5, EfficientNet, VGG, ResNet
+and CLIP-ViT families) on NVIDIA GTX 1080 Ti GPUs.  This reproduction has no
+GPUs, so the zoo ships *synthetic profiles*: published accuracy numbers for
+each variant, and latency curves of the standard ``alpha + beta * batch``
+shape calibrated so that smaller variants are proportionally faster, exactly
+the property accuracy scaling exploits.  The control plane only ever reads
+these profiles, so swapping in measured numbers is a drop-in change.
+"""
+
+from repro.zoo.families import (
+    FAMILIES,
+    clip_family,
+    efficientnet_family,
+    resnet_family,
+    vgg_family,
+    yolov5_family,
+    family,
+    all_variants,
+)
+from repro.zoo.registry import (
+    traffic_analysis_pipeline,
+    social_media_pipeline,
+    single_task_pipeline,
+    linear_pipeline,
+    available_pipelines,
+    build_pipeline,
+)
+
+__all__ = [
+    "FAMILIES",
+    "clip_family",
+    "efficientnet_family",
+    "resnet_family",
+    "vgg_family",
+    "yolov5_family",
+    "family",
+    "all_variants",
+    "traffic_analysis_pipeline",
+    "social_media_pipeline",
+    "single_task_pipeline",
+    "linear_pipeline",
+    "available_pipelines",
+    "build_pipeline",
+]

@@ -1,0 +1,159 @@
+"""Model-variant families with synthetic (but realistically shaped) profiles.
+
+Accuracy values are the published metrics of each variant (COCO mAP for
+YOLOv5, ImageNet top-1 for the classifiers, zero-shot ImageNet top-1 as the
+captioning-quality proxy for CLIP); following Section 6.1 of the paper they
+are normalised within each family so the most accurate member has accuracy
+1.0.  Latency follows ``alpha + beta * batch_size`` milliseconds, with the
+coefficients chosen so that relative speeds between variants track published
+GPU benchmarks: the cheapest variant of a family is roughly 4-9x faster than
+the most accurate one, which is the head-room accuracy scaling converts into
+extra throughput.
+
+Multiplicative factors (``r(i, k)``): only the object-detection family
+produces more than one downstream query per input query.  More accurate
+detectors find more objects per frame, so their multiplicative factor is
+larger -- the workload-multiplication effect of Section 2.2.1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.profiles import DEFAULT_BATCH_SIZES, ModelVariant
+
+__all__ = [
+    "yolov5_family",
+    "efficientnet_family",
+    "vgg_family",
+    "resnet_family",
+    "clip_family",
+    "family",
+    "all_variants",
+    "FAMILIES",
+]
+
+
+def _normalise(raw: Sequence[float]) -> List[float]:
+    peak = max(raw)
+    return [value / peak for value in raw]
+
+
+def _build_family(
+    family_name: str,
+    names: Sequence[str],
+    raw_accuracies: Sequence[float],
+    alphas: Sequence[float],
+    betas: Sequence[float],
+    multiplicative_factors: Sequence[float] | None = None,
+    load_time_ms: float = 2000.0,
+    batch_sizes: Tuple[int, ...] = DEFAULT_BATCH_SIZES,
+) -> List[ModelVariant]:
+    if multiplicative_factors is None:
+        multiplicative_factors = [1.0] * len(names)
+    normalised = _normalise(raw_accuracies)
+    variants = []
+    for name, raw, acc, alpha, beta, factor in zip(
+        names, raw_accuracies, normalised, alphas, betas, multiplicative_factors
+    ):
+        variants.append(
+            ModelVariant(
+                name=name,
+                family=family_name,
+                accuracy=acc,
+                raw_accuracy=raw,
+                base_latency_ms=alpha,
+                per_item_latency_ms=beta,
+                multiplicative_factor=factor,
+                load_time_ms=load_time_ms,
+                batch_sizes=batch_sizes,
+            )
+        )
+    return variants
+
+
+def yolov5_family() -> List[ModelVariant]:
+    """YOLOv5 object detectors (8 variants, COCO mAP@0.5:0.95).
+
+    The multiplicative factor is the average number of relevant objects each
+    variant detects per traffic-camera frame; larger models find more objects.
+    """
+    return _build_family(
+        family_name="yolov5",
+        names=["yolov5n", "yolov5s", "yolov5m", "yolov5l", "yolov5x", "yolov5n6", "yolov5s6", "yolov5m6"],
+        raw_accuracies=[28.0, 37.4, 45.4, 49.0, 50.7, 36.0, 44.8, 51.3],
+        alphas=[2.0, 2.5, 3.0, 3.5, 4.0, 2.5, 3.0, 3.5],
+        betas=[3.0, 4.5, 6.5, 9.0, 13.0, 3.8, 5.5, 8.0],
+        multiplicative_factors=[2.0, 2.2, 2.4, 2.6, 2.7, 2.2, 2.4, 2.8],
+        load_time_ms=2500.0,
+    )
+
+
+def efficientnet_family() -> List[ModelVariant]:
+    """EfficientNet B0-B7 image classifiers (ImageNet top-1)."""
+    return _build_family(
+        family_name="efficientnet",
+        names=[f"efficientnet_b{i}" for i in range(8)],
+        raw_accuracies=[77.1, 79.1, 80.1, 81.6, 82.9, 83.6, 84.0, 84.3],
+        alphas=[1.5, 1.8, 2.1, 2.5, 3.0, 3.6, 4.2, 5.0],
+        betas=[2.0, 2.8, 3.6, 5.0, 7.0, 10.0, 14.0, 18.0],
+        load_time_ms=1500.0,
+    )
+
+
+def vgg_family() -> List[ModelVariant]:
+    """VGG facial-recognition backbones (ImageNet top-1 as the accuracy proxy)."""
+    return _build_family(
+        family_name="vgg",
+        names=["vgg11", "vgg13", "vgg16", "vgg19"],
+        raw_accuracies=[69.0, 69.9, 71.6, 72.4],
+        alphas=[1.8, 2.0, 2.2, 2.4],
+        betas=[4.0, 5.0, 6.5, 7.5],
+        load_time_ms=2200.0,
+    )
+
+
+def resnet_family() -> List[ModelVariant]:
+    """ResNet image classifiers (ImageNet top-1)."""
+    return _build_family(
+        family_name="resnet",
+        names=["resnet18", "resnet34", "resnet50", "resnet101", "resnet152", "wide_resnet50"],
+        raw_accuracies=[69.8, 73.3, 76.1, 77.4, 78.3, 78.5],
+        alphas=[1.2, 1.5, 1.8, 2.4, 3.0, 2.2],
+        betas=[1.5, 2.5, 4.0, 7.0, 10.0, 8.0],
+        load_time_ms=1200.0,
+    )
+
+
+def clip_family() -> List[ModelVariant]:
+    """CLIP image-captioning encoders (zero-shot ImageNet top-1 as quality proxy)."""
+    return _build_family(
+        family_name="clip",
+        names=["clip_rn50", "clip_rn101", "clip_vit_b32", "clip_vit_b16", "clip_vit_l14", "clip_vit_l14_336"],
+        raw_accuracies=[59.6, 62.2, 63.3, 68.3, 75.5, 76.6],
+        alphas=[2.5, 3.0, 2.8, 3.5, 5.0, 6.5],
+        betas=[6.0, 9.0, 7.0, 14.0, 35.0, 55.0],
+        load_time_ms=3000.0,
+    )
+
+
+#: All families by name.
+FAMILIES = {
+    "yolov5": yolov5_family,
+    "efficientnet": efficientnet_family,
+    "vgg": vgg_family,
+    "resnet": resnet_family,
+    "clip": clip_family,
+}
+
+
+def family(name: str) -> List[ModelVariant]:
+    """Return the variants of the named family."""
+    if name not in FAMILIES:
+        raise KeyError(f"unknown model family {name!r}; available: {sorted(FAMILIES)}")
+    return FAMILIES[name]()
+
+
+def all_variants() -> Dict[str, List[ModelVariant]]:
+    """Every family's variants (32 in total, matching the paper's count)."""
+    return {name: builder() for name, builder in FAMILIES.items()}

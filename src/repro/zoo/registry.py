@@ -1,0 +1,156 @@
+"""Pre-built pipelines matching Figure 2 of the paper, plus synthetic helpers.
+
+* :func:`traffic_analysis_pipeline` -- object detection (YOLOv5) fanning out
+  to car classification (EfficientNet) and facial recognition (VGG).
+* :func:`social_media_pipeline` -- image classification (ResNet) feeding image
+  captioning (CLIP).
+* :func:`single_task_pipeline` and :func:`linear_pipeline` -- synthetic
+  pipelines used by unit tests and the property-based test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.pipeline import Edge, Pipeline, Task
+from repro.core.profiles import ModelVariant, ProfileRegistry
+from repro.zoo.families import clip_family, efficientnet_family, resnet_family, vgg_family, yolov5_family
+
+__all__ = [
+    "traffic_analysis_pipeline",
+    "social_media_pipeline",
+    "single_task_pipeline",
+    "linear_pipeline",
+    "available_pipelines",
+    "build_pipeline",
+]
+
+
+def traffic_analysis_pipeline(
+    latency_slo_ms: float = 250.0,
+    car_branch_ratio: float = 0.6,
+    person_branch_ratio: float = 0.4,
+) -> Pipeline:
+    """The traffic-analysis pipeline of Figure 2a.
+
+    Object detection on camera frames is the root task; detected cars flow to
+    the car-classification branch and detected persons to the facial
+    recognition branch.  Branch ratios describe the average composition of the
+    detected objects.
+    """
+    registry = ProfileRegistry()
+    registry.register_many("object_detection", yolov5_family())
+    registry.register_many("car_classification", efficientnet_family())
+    registry.register_many("facial_recognition", vgg_family())
+
+    tasks = [
+        Task("object_detection", "Detect cars and persons in traffic-camera frames"),
+        Task("car_classification", "Classify detected cars by make and model"),
+        Task("facial_recognition", "Recognise detected persons"),
+    ]
+    edges = [
+        Edge("object_detection", "car_classification", branch_ratio=car_branch_ratio),
+        Edge("object_detection", "facial_recognition", branch_ratio=person_branch_ratio),
+    ]
+    return Pipeline("traffic_analysis", tasks, edges, registry, latency_slo_ms=latency_slo_ms)
+
+
+def social_media_pipeline(latency_slo_ms: float = 250.0) -> Pipeline:
+    """The social-media pipeline of Figure 2b.
+
+    Image classification (ResNet) is the root task; its output feeds the image
+    captioning task (CLIP) that generates suggested captions.
+    """
+    registry = ProfileRegistry()
+    registry.register_many("image_classification", resnet_family())
+    registry.register_many("image_captioning", clip_family())
+
+    tasks = [
+        Task("image_classification", "Classify the objects present in a posted image"),
+        Task("image_captioning", "Generate a suggested caption for the image"),
+    ]
+    edges = [Edge("image_classification", "image_captioning", branch_ratio=1.0)]
+    return Pipeline("social_media", tasks, edges, registry, latency_slo_ms=latency_slo_ms)
+
+
+def single_task_pipeline(
+    variants: Optional[Sequence[ModelVariant]] = None,
+    latency_slo_ms: float = 150.0,
+) -> Pipeline:
+    """A one-task pipeline (degenerate case), used by tests and the Proteus baseline."""
+    registry = ProfileRegistry()
+    registry.register_many("classification", list(variants) if variants is not None else efficientnet_family())
+    return Pipeline(
+        "single_task",
+        [Task("classification", "Stand-alone classification task")],
+        [],
+        registry,
+        latency_slo_ms=latency_slo_ms,
+    )
+
+
+def linear_pipeline(
+    num_tasks: int = 3,
+    variants_per_task: int = 3,
+    latency_slo_ms: float = 400.0,
+    base_latency_ms: float = 2.0,
+    per_item_latency_ms: float = 4.0,
+    multiplicative_factor: float = 1.0,
+) -> Pipeline:
+    """A synthetic linear chain of ``num_tasks`` tasks for testing.
+
+    Variant ``v{j}`` of every task has accuracy ``1 - 0.08*j`` and is
+    ``(1 + 0.6*j)`` times faster than the most accurate variant -- a simple,
+    controllable accuracy/throughput trade-off.
+    """
+    if num_tasks < 1:
+        raise ValueError("linear_pipeline needs at least one task")
+    if variants_per_task < 1:
+        raise ValueError("linear_pipeline needs at least one variant per task")
+    registry = ProfileRegistry()
+    tasks = []
+    edges = []
+    for i in range(num_tasks):
+        task_name = f"task{i}"
+        tasks.append(Task(task_name, f"Synthetic task {i}"))
+        variants = []
+        for j in range(variants_per_task):
+            speedup = 1.0 + 0.6 * j
+            variants.append(
+                ModelVariant(
+                    name=f"{task_name}_v{j}",
+                    family=f"family{i}",
+                    accuracy=max(0.05, 1.0 - 0.08 * j),
+                    base_latency_ms=base_latency_ms / speedup,
+                    per_item_latency_ms=per_item_latency_ms / speedup,
+                    multiplicative_factor=multiplicative_factor,
+                    load_time_ms=1000.0,
+                )
+            )
+        registry.register_many(task_name, variants)
+        if i > 0:
+            edges.append(Edge(f"task{i-1}", task_name, branch_ratio=1.0))
+    return Pipeline(f"linear_{num_tasks}x{variants_per_task}", tasks, edges, registry, latency_slo_ms=latency_slo_ms)
+
+
+def available_pipelines() -> Dict[str, str]:
+    """Names and one-line descriptions of the built-in pipelines."""
+    return {
+        "traffic_analysis": "YOLOv5 detection -> EfficientNet car classification / VGG facial recognition",
+        "social_media": "ResNet classification -> CLIP image captioning",
+        "single_task": "Single EfficientNet classification task",
+        "linear": "Synthetic linear chain (testing)",
+    }
+
+
+def build_pipeline(name: str, **kwargs) -> Pipeline:
+    """Factory used by examples and the experiment harness."""
+    builders = {
+        "traffic_analysis": traffic_analysis_pipeline,
+        "social_media": social_media_pipeline,
+        "single_task": single_task_pipeline,
+        "linear": linear_pipeline,
+    }
+    if name not in builders:
+        raise KeyError(f"unknown pipeline {name!r}; available: {sorted(builders)}")
+    return builders[name](**kwargs)

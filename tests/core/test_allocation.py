@@ -1,0 +1,215 @@
+"""Tests for the hardware/accuracy-scaling MILP formulations (Section 4)."""
+
+import math
+
+import pytest
+
+from repro.core.allocation import (
+    ACCURACY_SCALING,
+    HARDWARE_SCALING,
+    AllocationProblem,
+    build_accuracy_scaling_model,
+    build_hardware_scaling_model,
+)
+
+
+@pytest.fixture
+def problem(small_pipeline):
+    return AllocationProblem(small_pipeline, num_workers=10, latency_slo_ms=150.0, utilization_target=1.0)
+
+
+@pytest.fixture
+def branching_problem(branching_pipeline):
+    return AllocationProblem(branching_pipeline, num_workers=12, latency_slo_ms=200.0, utilization_target=1.0)
+
+
+class TestConfigurationEnumeration:
+    def test_configurations_cover_all_variant_batch_pairs(self, problem, small_pipeline):
+        configs = problem.configurations()
+        expected = sum(
+            len(v.batch_sizes) for task in small_pipeline.tasks for v in small_pipeline.registry.variants(task)
+        )
+        assert len(configs) == expected
+
+    def test_restrict_to_best_only_uses_most_accurate(self, problem):
+        configs = problem.configurations(restrict_to_best=True)
+        assert {c.variant.name for c in configs} == {"detect_big", "classify_big"}
+
+    def test_config_paths_respect_latency_budget(self, problem):
+        budget = problem.effective_budget_ms(2)
+        for path in problem.config_paths():
+            assert path.latency_ms <= budget + 1e-9
+
+    def test_effective_budget_subtracts_communication(self, small_pipeline):
+        p = AllocationProblem(
+            small_pipeline, num_workers=4, latency_slo_ms=200.0, communication_latency_ms=5.0, slo_slack_factor=2.0
+        )
+        assert p.effective_budget_ms(2) == pytest.approx(200.0 / 2 - 10.0)
+
+    def test_allowed_batches_intersection(self, small_pipeline):
+        p = AllocationProblem(small_pipeline, num_workers=4, batch_sizes=(1, 4, 64))
+        variant = small_pipeline.registry.variant("detect_big")
+        assert p.allowed_batches(variant) == (1, 4)
+
+    def test_multiplicative_factor_override(self, small_pipeline):
+        p = AllocationProblem(small_pipeline, num_workers=4, multiplicative_factors={"detect_big": 3.0})
+        assert p.multiplicative_factor(small_pipeline.registry.variant("detect_big")) == pytest.approx(3.0)
+        assert p.multiplicative_factor(small_pipeline.registry.variant("detect_small")) == pytest.approx(1.6)
+
+    def test_invalid_parameters_rejected(self, small_pipeline):
+        with pytest.raises(ValueError):
+            AllocationProblem(small_pipeline, num_workers=0)
+        with pytest.raises(ValueError):
+            AllocationProblem(small_pipeline, num_workers=2, utilization_target=0.0)
+
+
+class TestHardwareScaling:
+    def test_minimises_workers_at_low_demand(self, problem):
+        plan = problem.solve_hardware_scaling(20.0)
+        assert plan is not None
+        assert plan.mode == HARDWARE_SCALING
+        assert plan.feasible
+        # Low demand needs few workers, never the whole cluster.
+        assert 1 <= plan.total_workers <= 4
+
+    def test_only_most_accurate_variants_hosted(self, problem):
+        plan = problem.solve_hardware_scaling(30.0)
+        assert {a.variant_name for a in plan.allocations} <= {"detect_big", "classify_big"}
+        assert plan.expected_accuracy == pytest.approx(1.0, abs=1e-6)
+
+    def test_workers_grow_with_demand(self, problem):
+        low = problem.solve_hardware_scaling(20.0)
+        high = problem.solve_hardware_scaling(120.0)
+        assert high is not None and low is not None
+        assert high.total_workers >= low.total_workers
+
+    def test_capacity_covers_multiplied_load(self, branching_problem, branching_pipeline):
+        demand = 40.0
+        plan = branching_problem.solve_hardware_scaling(demand)
+        assert plan is not None
+        factor = branching_pipeline.registry.variant("det_hi").multiplicative_factor
+        assert plan.capacity_qps("detect") >= demand - 1e-6
+        assert plan.capacity_qps("classify_a") >= demand * factor * 0.6 - 1e-6
+        assert plan.capacity_qps("classify_b") >= demand * factor * 0.4 - 1e-6
+
+    def test_infeasible_when_demand_exceeds_cluster(self, problem):
+        plan = problem.solve_hardware_scaling(1e6)
+        assert plan is None
+
+    def test_raw_model_is_minimisation(self, problem):
+        model = build_hardware_scaling_model(problem, 50.0)
+        assert model.objective_sign == 1
+        assert model.num_vars > 0
+
+
+class TestAccuracyScaling:
+    def test_uses_cheaper_variants_when_needed(self, problem):
+        hardware_capacity = problem.max_supported_demand(restrict_to_best=True).max_demand_qps
+        plan = problem.solve_accuracy_scaling(hardware_capacity * 1.5)
+        assert plan is not None
+        assert plan.mode == ACCURACY_SCALING
+        assert plan.expected_accuracy < 1.0
+        assert plan.total_workers <= problem.num_workers
+
+    def test_accuracy_not_sacrificed_unnecessarily(self, problem):
+        plan = problem.solve_accuracy_scaling(10.0)
+        assert plan is not None
+        assert plan.expected_accuracy == pytest.approx(1.0, abs=1e-6)
+
+    def test_accuracy_monotone_nonincreasing_in_demand(self, problem):
+        capacities = [50.0, 150.0, 250.0]
+        accuracies = []
+        for demand in capacities:
+            plan = problem.solve_accuracy_scaling(demand)
+            if plan is not None:
+                accuracies.append(plan.expected_accuracy)
+        assert all(a >= b - 1e-6 for a, b in zip(accuracies, accuracies[1:]))
+
+    def test_path_ratios_sum_to_one_per_branch(self, branching_problem, branching_pipeline):
+        plan = branching_problem.solve_accuracy_scaling(60.0)
+        assert plan is not None
+        per_branch = {}
+        for key, ratio in plan.path_ratios.items():
+            sink = key[-1][0]
+            per_branch[sink] = per_branch.get(sink, 0.0) + ratio
+        for sink, total in per_branch.items():
+            assert total == pytest.approx(1.0, abs=1e-4)
+
+    def test_accuracy_floor_respected(self, problem):
+        plan = problem.solve_accuracy_scaling(200.0, accuracy_floor=0.9)
+        if plan is not None:
+            assert plan.expected_accuracy >= 0.9 - 1e-6
+
+    def test_raw_model_is_maximisation(self, problem):
+        model = build_accuracy_scaling_model(problem, 50.0)
+        assert model.objective_sign == -1
+
+
+class TestTwoStepSolve:
+    def test_low_demand_uses_hardware_scaling(self, problem):
+        plan = problem.solve(20.0)
+        assert plan.mode == HARDWARE_SCALING
+        assert plan.feasible
+
+    def test_high_demand_falls_back_to_accuracy_scaling(self, problem):
+        hardware_capacity = problem.max_supported_demand(restrict_to_best=True).max_demand_qps
+        plan = problem.solve(hardware_capacity * 1.4)
+        assert plan.mode == ACCURACY_SCALING
+        assert plan.feasible
+
+    def test_impossible_demand_returns_best_effort(self, problem):
+        plan = problem.solve(1e6)
+        assert not plan.feasible
+        assert plan.total_workers <= problem.num_workers
+        assert "max_supported_qps" in plan.solver_info
+
+    def test_latency_budgets_available_for_all_allocations(self, problem):
+        plan = problem.solve(60.0)
+        for allocation in plan.allocations:
+            budget = plan.latency_budget_ms(allocation.task, allocation.variant_name, allocation.batch_size)
+            assert budget == pytest.approx(allocation.latency_ms)
+        with pytest.raises(KeyError):
+            plan.latency_budget_ms("detect", "ghost", 1)
+
+
+class TestMaxSupportedDemand:
+    def test_accuracy_scaling_capacity_exceeds_hardware_capacity(self, problem):
+        hardware = problem.max_supported_demand(restrict_to_best=True).max_demand_qps
+        full = problem.max_supported_demand().max_demand_qps
+        assert full >= hardware - 1e-6
+        assert full > 0
+
+    def test_capacity_scales_with_cluster_size(self, small_pipeline):
+        small = AllocationProblem(small_pipeline, num_workers=4, utilization_target=1.0)
+        large = AllocationProblem(small_pipeline, num_workers=16, utilization_target=1.0)
+        assert large.max_supported_demand().max_demand_qps > small.max_supported_demand().max_demand_qps
+
+    def test_accuracy_floor_reduces_capacity(self, problem):
+        unconstrained = problem.max_supported_demand().max_demand_qps
+        floored = problem.max_supported_demand(accuracy_floor=0.97).max_demand_qps
+        assert floored <= unconstrained + 1e-6
+
+    def test_utilization_target_derates_capacity(self, small_pipeline):
+        full = AllocationProblem(small_pipeline, num_workers=8, utilization_target=1.0)
+        derated = AllocationProblem(small_pipeline, num_workers=8, utilization_target=0.5)
+        ratio = derated.max_supported_demand().max_demand_qps / full.max_supported_demand().max_demand_qps
+        assert ratio == pytest.approx(0.5, rel=0.15)
+
+
+class TestInfeasibleSLO:
+    def test_unreachable_slo_yields_no_paths(self, small_pipeline):
+        problem = AllocationProblem(small_pipeline, num_workers=10, latency_slo_ms=10.0)
+        assert problem.config_paths() == []
+        plan = problem.solve(10.0)
+        assert not plan.feasible
+
+
+class TestPlanHelpers:
+    def test_plan_summary_and_queries(self, problem):
+        plan = problem.solve(60.0)
+        text = plan.summary()
+        assert "plan[small]" in text
+        assert plan.workers_for("detect") >= 1
+        assert set(plan.tasks()) <= {"detect", "classify"}
+        assert plan.variants_for("detect")
+        assert plan.capacity_qps("detect") > 0

@@ -1,0 +1,127 @@
+"""Tests for the Metadata Store and the Controller."""
+
+import pytest
+
+from repro.core import Controller, ControllerConfig
+from repro.core.allocation import HARDWARE_SCALING
+from repro.core.metadata import MetadataStore
+
+
+class TestMetadataStore:
+    def test_demand_history_recorded_in_order(self, small_pipeline):
+        store = MetadataStore(small_pipeline)
+        store.record_demand(0.0, 10.0)
+        store.record_demand(1.0, 20.0)
+        samples = store.recent_demand(window=2)
+        assert [s.demand_qps for s in samples] == [10.0, 20.0]
+        assert store.latest_demand_qps() == 20.0
+        assert store.peak_demand_qps() == 20.0
+
+    def test_negative_demand_rejected(self, small_pipeline):
+        store = MetadataStore(small_pipeline)
+        with pytest.raises(ValueError):
+            store.record_demand(0.0, -1.0)
+
+    def test_history_bounded(self, small_pipeline):
+        store = MetadataStore(small_pipeline, demand_history_size=5)
+        for t in range(10):
+            store.record_demand(float(t), float(t))
+        assert len(store.demand_history) == 5
+        assert store.recent_demand(1)[0].demand_qps == 9.0
+
+    def test_recent_demand_edge_cases(self, small_pipeline):
+        store = MetadataStore(small_pipeline)
+        assert store.recent_demand(0) == []
+        assert store.latest_demand_qps(default=7.0) == 7.0
+        assert store.peak_demand_qps(default=3.0) == 3.0
+
+    def test_multiplier_estimates_seeded_from_profiles(self, small_pipeline):
+        store = MetadataStore(small_pipeline)
+        assert store.multiplier_estimate("detect_big") == pytest.approx(2.0)
+        assert store.multiplier_estimate("classify_big") == pytest.approx(1.0)
+
+    def test_multiplier_ewma_update(self, small_pipeline):
+        store = MetadataStore(small_pipeline, multiplier_ewma_alpha=0.5)
+        store.report_multiplier("detect_big", 4.0)
+        assert store.multiplier_estimate("detect_big") == pytest.approx(3.0)
+
+    def test_unknown_variant_or_negative_factor_rejected(self, small_pipeline):
+        store = MetadataStore(small_pipeline)
+        with pytest.raises(KeyError):
+            store.report_multiplier("ghost", 1.0)
+        with pytest.raises(ValueError):
+            store.report_multiplier("detect_big", -1.0)
+
+    def test_multiplier_estimates_snapshot_is_copy(self, small_pipeline):
+        store = MetadataStore(small_pipeline)
+        snapshot = store.multiplier_estimates()
+        snapshot["detect_big"] = 99.0
+        assert store.multiplier_estimate("detect_big") == pytest.approx(2.0)
+
+
+@pytest.fixture
+def controller(small_pipeline):
+    return Controller(
+        small_pipeline,
+        ControllerConfig(num_workers=10, latency_slo_ms=150.0, demand_quantum_qps=10.0, utilization_target=1.0),
+    )
+
+
+class TestController:
+    def test_first_step_produces_plan_and_routing(self, controller):
+        controller.report_demand(0.0, 40.0)
+        plan, routing = controller.step(0.0, force=True)
+        assert plan is not None and routing is not None
+        assert plan.feasible
+        assert controller.active_workers == plan.total_workers
+        assert controller.expected_accuracy == pytest.approx(plan.expected_accuracy)
+        assert not routing.frontend_table.is_empty()
+
+    def test_step_without_changes_returns_none_plan(self, controller):
+        controller.report_demand(0.0, 40.0)
+        controller.step(0.0, force=True)
+        plan, _ = controller.step(1.0)
+        assert plan is None  # nothing changed within the reallocation interval
+
+    def test_routing_refreshes_periodically(self, controller):
+        controller.report_demand(0.0, 40.0)
+        controller.step(0.0, force=True)
+        _, routing = controller.step(2.0)
+        assert routing is not None  # refresh interval is 1 s by default
+
+    def test_plan_changes_counted(self, controller):
+        controller.report_demand(0.0, 20.0)
+        controller.step(0.0, force=True)
+        before = controller.plan_changes
+        for t in range(1, 8):
+            controller.report_demand(float(t), 200.0)
+        controller.step(11.0)
+        assert controller.plan_changes > before
+
+    def test_multiplier_reports_forwarded_to_metadata(self, controller):
+        controller.report_multiplier("detect_big", 3.0)
+        assert controller.metadata.multiplier_estimate("detect_big") > 2.0
+
+    def test_latency_budget_lookup(self, controller):
+        controller.report_demand(0.0, 40.0)
+        plan, _ = controller.step(0.0, force=True)
+        allocation = plan.allocations[0]
+        budget = controller.latency_budget_ms(allocation.task, allocation.variant_name, allocation.batch_size)
+        assert budget == pytest.approx(allocation.latency_ms)
+
+    def test_latency_budget_before_plan_raises(self, small_pipeline):
+        controller = Controller(small_pipeline, ControllerConfig(num_workers=4))
+        with pytest.raises(RuntimeError):
+            controller.latency_budget_ms("detect", "detect_big", 1)
+
+    def test_default_config_matches_paper_setup(self):
+        config = ControllerConfig()
+        assert config.num_workers == 20
+        assert config.latency_slo_ms == pytest.approx(250.0)
+        assert config.reallocation_interval_s == pytest.approx(10.0)
+        assert config.drop_policy == "opportunistic_rerouting"
+
+    def test_hardware_mode_at_low_demand(self, controller):
+        controller.report_demand(0.0, 20.0)
+        plan, _ = controller.step(0.0, force=True)
+        assert plan.mode == HARDWARE_SCALING

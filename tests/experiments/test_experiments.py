@@ -1,0 +1,134 @@
+"""Smoke tests for the experiment harness (tiny configurations).
+
+These tests verify that every figure's ``run()`` produces structurally valid
+results and that the cheap, deterministic claims (capacity gain > 1, monotone
+trade-off, analytic validation) hold.  The full-size reproductions live in the
+benchmark suite.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig1_phases,
+    fig3_tradeoff,
+    fig5_traffic,
+    fig7_ablation,
+    fig8_slo_sweep,
+    runtime_overhead,
+    validation,
+)
+from repro.experiments.common import format_table, off_peak_mean_workers, run_system
+from repro.workloads import constant_trace
+from repro.zoo import traffic_analysis_pipeline
+
+
+class TestCommonHelpers:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_run_system_rejects_unknown_system(self):
+        pipeline = traffic_analysis_pipeline()
+        with pytest.raises(KeyError):
+            run_system("clipper", pipeline, constant_trace(10.0, 5))
+
+    def test_off_peak_ignores_zero_demand_intervals(self, small_pipeline):
+        run = run_system(
+            "loki",
+            small_pipeline,
+            constant_trace(30.0, 8),
+            num_workers=10,
+            slo_ms=150.0,
+            seed=1,
+        )
+        assert off_peak_mean_workers(run.summary) > 0
+
+
+class TestFig1:
+    def test_capacity_gain_exceeds_one(self):
+        result = fig1_phases.run(num_points=5)
+        assert result.hardware_capacity_qps > 0
+        assert result.max_capacity_qps > result.hardware_capacity_qps
+        assert result.capacity_gain_max > 1.5
+        assert 0.0 <= result.accuracy_drop_max <= 1.0
+
+    def test_phases_ordered(self):
+        result = fig1_phases.run(num_points=6)
+        # Phase index must be non-decreasing as demand grows.
+        phases = [p.phase for p in sorted(result.points, key=lambda p: p.demand_qps)]
+        assert phases == sorted(phases)
+        # Phase 1 points are hardware mode with full accuracy.
+        for point in result.points:
+            if point.phase == 1:
+                assert point.system_accuracy == pytest.approx(1.0, abs=1e-6)
+
+
+class TestFig3:
+    def test_tradeoff_is_monotone(self):
+        result = fig3_tradeoff.run()
+        assert result.is_monotone_tradeoff
+        assert result.throughput_range > 3.0
+        assert len(result.points) == 8
+
+    def test_custom_batch_size(self):
+        result = fig3_tradeoff.run(batch_size=1)
+        assert all(p.latency_ms > 0 for p in result.points)
+
+
+class TestFig5Smoke:
+    @pytest.mark.slow
+    def test_loki_beats_baselines_on_short_trace(self):
+        result = fig5_traffic.run(duration_s=45, num_workers=12)
+        loki = result.runs["loki"].slo_violation_ratio
+        proteus = result.runs["proteus"].slo_violation_ratio
+        inferline = result.runs["inferline"].slo_violation_ratio
+        assert loki <= proteus
+        assert loki <= inferline
+        assert result.effective_capacity_gain > 1.5
+
+
+class TestFig7Smoke:
+    @pytest.mark.slow
+    def test_all_policies_evaluated(self):
+        result = fig7_ablation.run(duration_s=30, num_workers=12)
+        assert set(result.violation_ratio) == set(fig7_ablation.ABLATION_ORDER)
+        assert all(0.0 <= v <= 1.0 for v in result.violation_ratio.values())
+        assert result.best_policy in result.violation_ratio
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(KeyError):
+            fig7_ablation.run(duration_s=10, policies=["teleportation"])
+
+
+class TestFig8:
+    def test_min_feasible_slo_is_positive(self):
+        value = fig8_slo_sweep.min_feasible_slo_ms()
+        assert value > 0
+
+    @pytest.mark.slow
+    def test_sweep_structure(self):
+        result = fig8_slo_sweep.run(slos_ms=(250.0, 400.0), duration_s=30, num_workers=12)
+        assert len(result.points) == 2
+        assert result.points[0].slo_ms == 250.0
+        assert all(0.0 <= p.slo_violation_ratio <= 1.0 for p in result.points)
+
+
+class TestValidation:
+    def test_simulator_close_to_analytic_plan(self):
+        result = validation.run(demands_qps=(120.0,), duration_s=12)
+        assert result.mean_accuracy_difference < 0.05
+        assert result.mean_violation_ratio < 0.2
+        point = result.points[0]
+        assert point.predicted_workers > 0
+        assert point.measured_workers > 0
+
+
+class TestRuntimeOverhead:
+    def test_runtimes_measured(self):
+        result = runtime_overhead.run(demand_fractions=(0.4,), repeats=1)
+        assert result.mean_resource_manager_ms > 0
+        # The Load Balancer must be orders of magnitude faster than the MILP.
+        assert result.mean_load_balancer_ms < result.mean_resource_manager_ms / 10
+        assert set(result.resource_manager_ms) == {"traffic_analysis", "social_media"}

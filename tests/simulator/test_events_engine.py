@@ -1,0 +1,117 @@
+"""Tests for the event calendar and simulation engine."""
+
+import pytest
+
+from repro.simulator.engine import SimulationEngine
+from repro.simulator.events import EventQueue
+
+
+class TestEventQueue:
+    def test_events_pop_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(2.0, lambda: order.append("b"))
+        queue.schedule(1.0, lambda: order.append("a"))
+        queue.schedule(3.0, lambda: order.append("c"))
+        while queue:
+            queue.pop().action()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_fifo(self):
+        queue = EventQueue()
+        order = []
+        for name in "abc":
+            queue.schedule(1.0, lambda n=name: order.append(n))
+        while queue:
+            queue.pop().action()
+        assert order == ["a", "b", "c"]
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.schedule(1.0, lambda: fired.append("x"))
+        queue.schedule(2.0, lambda: fired.append("y"))
+        event.cancel()
+        while queue:
+            queue.pop().action()
+        assert fired == ["y"]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1.0, lambda: None)
+
+    def test_len_and_peek(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.schedule(5.0, lambda: None)
+        event = queue.schedule(1.0, lambda: None)
+        assert len(queue) == 2
+        assert queue.peek_time() == 1.0
+        event.cancel()
+        assert queue.peek_time() == 5.0
+        assert len(queue) == 1
+
+
+class TestSimulationEngine:
+    def test_clock_advances_to_event_times(self):
+        engine = SimulationEngine()
+        times = []
+        engine.schedule(0.5, lambda: times.append(engine.now_s))
+        engine.schedule(1.5, lambda: times.append(engine.now_s))
+        engine.run()
+        assert times == [0.5, 1.5]
+        assert engine.now_s == 1.5
+        assert engine.events_processed == 2
+
+    def test_run_until_horizon(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(10.0, lambda: fired.append(10))
+        stop_time = engine.run(until_s=5.0)
+        assert fired == [1]
+        assert stop_time == 5.0
+        # The later event is still pending and runs when resumed.
+        engine.run()
+        assert fired == [1, 10]
+
+    def test_schedule_in_relative_delay(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda: engine.schedule_in(0.5, lambda: None))
+        engine.run()
+        assert engine.now_s == pytest.approx(1.5)
+
+    def test_scheduling_in_past_rejected(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule(0.5, lambda: None)
+        with pytest.raises(ValueError):
+            engine.schedule_in(-1.0, lambda: None)
+
+    def test_events_spawned_during_run_are_processed(self):
+        engine = SimulationEngine()
+        seen = []
+
+        def cascade(depth):
+            seen.append(depth)
+            if depth < 3:
+                engine.schedule_in(0.1, lambda: cascade(depth + 1))
+
+        engine.schedule(0.0, lambda: cascade(0))
+        engine.run()
+        assert seen == [0, 1, 2, 3]
+
+    def test_max_events_budget(self):
+        engine = SimulationEngine()
+        for i in range(10):
+            engine.schedule(float(i), lambda: None)
+        engine.run(max_events=4)
+        assert engine.events_processed == 4
+
+    def test_step(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda: None)
+        assert engine.step() is True
+        assert engine.step() is False

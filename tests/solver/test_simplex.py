@@ -1,0 +1,104 @@
+"""Tests for the pure-NumPy two-phase simplex solver."""
+
+import numpy as np
+import pytest
+
+from repro.solver.simplex import LinProgProblem, SimplexResult, SimplexSolver
+
+
+def solve(c, A_ub=(), b_ub=(), A_eq=(), b_eq=(), lb=None, ub=None):
+    c = np.asarray(c, dtype=float)
+    n = c.shape[0]
+    problem = LinProgProblem(
+        c=c,
+        A_ub=np.asarray(A_ub, dtype=float) if len(A_ub) else np.zeros((0, n)),
+        b_ub=np.asarray(b_ub, dtype=float),
+        A_eq=np.asarray(A_eq, dtype=float) if len(A_eq) else np.zeros((0, n)),
+        b_eq=np.asarray(b_eq, dtype=float),
+        lb=np.zeros(n) if lb is None else np.asarray(lb, dtype=float),
+        ub=np.full(n, np.inf) if ub is None else np.asarray(ub, dtype=float),
+    )
+    return SimplexSolver().solve(problem)
+
+
+class TestSimplexBasics:
+    def test_simple_maximisation(self):
+        # max x + 2y s.t. x + y <= 4, x <= 3  (minimise the negation)
+        result = solve([-1.0, -2.0], A_ub=[[1, 1], [1, 0]], b_ub=[4, 3])
+        assert result.success
+        assert result.objective == pytest.approx(-8.0, abs=1e-7)
+        assert result.x[1] == pytest.approx(4.0, abs=1e-7)
+
+    def test_equality_constraints(self):
+        # min x + y s.t. x + y = 5, x - y = 1  -> x=3, y=2
+        result = solve([1.0, 1.0], A_eq=[[1, 1], [1, -1]], b_eq=[5, 1])
+        assert result.success
+        assert result.x[0] == pytest.approx(3.0, abs=1e-7)
+        assert result.x[1] == pytest.approx(2.0, abs=1e-7)
+
+    def test_upper_bounds_respected(self):
+        # min -x with x <= 2.5
+        result = solve([-1.0], ub=[2.5])
+        assert result.success
+        assert result.x[0] == pytest.approx(2.5, abs=1e-7)
+
+    def test_shifted_lower_bounds(self):
+        # min x with x >= 3 (via lb)
+        result = solve([1.0], lb=[3.0], ub=[10.0])
+        assert result.success
+        assert result.x[0] == pytest.approx(3.0, abs=1e-7)
+
+    def test_infeasible_problem(self):
+        result = solve([1.0], A_ub=[[1.0]], b_ub=[1.0], A_eq=[[1.0]], b_eq=[5.0])
+        assert result.status == "infeasible"
+
+    def test_unbounded_problem(self):
+        result = solve([-1.0])  # min -x, x >= 0 unbounded below
+        assert result.status == "unbounded"
+
+    def test_inconsistent_bounds(self):
+        result = solve([1.0], lb=[4.0], ub=[1.0])
+        assert result.status == "infeasible"
+
+    def test_no_variables(self):
+        result = SimplexSolver().solve(
+            LinProgProblem(c=np.zeros(0), A_ub=np.zeros((0, 0)), b_ub=np.zeros(0), A_eq=np.zeros((0, 0)), b_eq=np.zeros(0), lb=np.zeros(0), ub=np.zeros(0))
+        )
+        assert result.success
+
+    def test_negative_rhs_handled(self):
+        # x - y <= -1 means y >= x + 1; min y -> x=0, y=1
+        result = solve([0.0, 1.0], A_ub=[[1, -1]], b_ub=[-1])
+        assert result.success
+        assert result.x[1] == pytest.approx(1.0, abs=1e-7)
+
+    def test_degenerate_problem_terminates(self):
+        # Multiple redundant constraints at the optimum.
+        result = solve(
+            [1.0, 1.0],
+            A_ub=[[1, 0], [1, 0], [0, 1], [1, 1]],
+            b_ub=[2, 2, 2, 2],
+            A_eq=[[1, 1]],
+            b_eq=[2],
+        )
+        assert result.success
+        assert result.objective == pytest.approx(2.0, abs=1e-7)
+
+
+class TestSimplexAgainstScipy:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_feasible_lps_match_highs(self, seed):
+        rng = np.random.default_rng(seed)
+        n, m = 5, 4
+        A = rng.uniform(0.1, 2.0, size=(m, n))
+        x_feasible = rng.uniform(0.5, 2.0, size=n)
+        b = A @ x_feasible + rng.uniform(0.5, 1.0, size=m)
+        c = rng.uniform(-1.0, 1.0, size=n)
+        ub = np.full(n, 10.0)
+
+        mine = solve(c, A_ub=A, b_ub=b, ub=ub)
+        from scipy.optimize import linprog
+
+        reference = linprog(c, A_ub=A, b_ub=b, bounds=[(0, 10.0)] * n, method="highs")
+        assert mine.success and reference.success
+        assert mine.objective == pytest.approx(reference.fun, abs=1e-6)

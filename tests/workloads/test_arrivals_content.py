@@ -1,0 +1,108 @@
+"""Tests for arrival processes and request-content models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pipeline import Edge
+from repro.workloads import MultiplicativeContentModel, arrivals_for_second, arrivals_from_trace, constant_trace
+
+from tests.conftest import make_variant
+
+
+class TestArrivals:
+    def test_poisson_arrivals_within_second(self, rng):
+        times = arrivals_for_second(50.0, 10.0, rng, process="poisson")
+        assert np.all(times >= 10.0)
+        assert np.all(times < 11.0)
+        assert np.all(np.diff(times) >= 0)  # sorted
+
+    def test_poisson_mean_count(self):
+        rng = np.random.default_rng(0)
+        counts = [len(arrivals_for_second(40.0, 0.0, rng)) for _ in range(300)]
+        assert np.mean(counts) == pytest.approx(40.0, rel=0.1)
+
+    def test_uniform_arrivals_deterministic_count(self, rng):
+        times = arrivals_for_second(10.0, 5.0, rng, process="uniform")
+        assert len(times) == 10
+        assert np.all((times >= 5.0) & (times < 6.0))
+        # Evenly spaced
+        assert np.allclose(np.diff(times), 0.1)
+
+    def test_zero_rate_yields_no_arrivals(self, rng):
+        assert arrivals_for_second(0.0, 0.0, rng).size == 0
+
+    def test_negative_rate_rejected(self, rng):
+        with pytest.raises(ValueError):
+            arrivals_for_second(-1.0, 0.0, rng)
+
+    def test_unknown_process_rejected(self, rng):
+        with pytest.raises(ValueError):
+            arrivals_for_second(1.0, 0.0, rng, process="bursty")
+
+    def test_arrivals_from_trace_cover_every_second(self, rng):
+        trace = constant_trace(5.0, 4)
+        batches = list(arrivals_from_trace(trace, rng, process="uniform"))
+        assert len(batches) == 4
+        for second, batch in enumerate(batches):
+            assert np.all((batch >= second) & (batch < second + 1))
+
+    @settings(max_examples=30, deadline=None)
+    @given(rate=st.floats(min_value=0.0, max_value=200.0), second=st.integers(min_value=0, max_value=100))
+    def test_arrival_times_always_inside_their_second(self, rate, second):
+        rng = np.random.default_rng(1)
+        times = arrivals_for_second(rate, float(second), rng)
+        if times.size:
+            assert times.min() >= second
+            assert times.max() < second + 1
+
+
+class TestContentModel:
+    def test_unit_factor_is_deterministic(self, rng):
+        model = MultiplicativeContentModel()
+        variant = make_variant("classifier", factor=1.0)
+        edge = Edge("a", "b", branch_ratio=1.0)
+        assert all(model.sample_children(variant, edge, rng) == 1 for _ in range(50))
+
+    def test_expected_mode_returns_rounded_mean(self, rng):
+        model = MultiplicativeContentModel(mode="expected")
+        variant = make_variant("detector", factor=2.6)
+        edge = Edge("a", "b", branch_ratio=1.0)
+        assert model.sample_children(variant, edge, rng) == 3
+
+    def test_poisson_mode_matches_mean(self):
+        rng = np.random.default_rng(3)
+        model = MultiplicativeContentModel(mode="poisson")
+        variant = make_variant("detector", factor=2.5)
+        edge = Edge("a", "b", branch_ratio=0.6)
+        samples = [model.sample_children(variant, edge, rng) for _ in range(3000)]
+        assert np.mean(samples) == pytest.approx(1.5, rel=0.1)
+        assert min(samples) >= 0
+
+    def test_branch_ratio_scales_mean(self):
+        model = MultiplicativeContentModel()
+        variant = make_variant("detector", factor=2.0)
+        assert model.mean_children(variant, Edge("a", "b", 0.25)) == pytest.approx(0.5)
+
+    def test_factor_scale(self):
+        model = MultiplicativeContentModel(factor_scale=2.0)
+        variant = make_variant("detector", factor=1.5)
+        assert model.mean_children(variant, Edge("a", "b", 1.0)) == pytest.approx(3.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            MultiplicativeContentModel(mode="exact")
+        with pytest.raises(ValueError):
+            MultiplicativeContentModel(factor_scale=0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(factor=st.floats(min_value=0.2, max_value=4.0), ratio=st.floats(min_value=0.1, max_value=1.0))
+    def test_samples_are_nonnegative_integers(self, factor, ratio):
+        rng = np.random.default_rng(0)
+        model = MultiplicativeContentModel()
+        variant = make_variant("detector_h", factor=factor)
+        edge = Edge("a", "b", branch_ratio=ratio)
+        for _ in range(20):
+            value = model.sample_children(variant, edge, rng)
+            assert isinstance(value, int)
+            assert value >= 0

@@ -1,0 +1,117 @@
+"""Tests for demand-trace generation and shape-preserving scaling."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    Trace,
+    azure_like_trace,
+    constant_trace,
+    ramp_trace,
+    scale_trace_to_capacity,
+    step_trace,
+    twitter_like_trace,
+)
+
+
+class TestTraceBasics:
+    def test_properties(self):
+        trace = Trace("t", np.array([1.0, 3.0, 2.0]))
+        assert trace.duration_s == 3
+        assert trace.peak_qps == 3.0
+        assert trace.trough_qps == 1.0
+        assert trace.mean_qps == pytest.approx(2.0)
+        assert trace.total_requests == pytest.approx(6.0)
+        assert trace.rate_at(1) == 3.0
+        assert len(trace) == 3
+        assert list(trace) == [1.0, 3.0, 2.0]
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError):
+            Trace("bad", np.array([1.0, -1.0]))
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValueError):
+            Trace("bad", np.ones((2, 2)))
+
+    def test_scaled_preserves_shape(self):
+        trace = Trace("t", np.array([1.0, 2.0, 4.0]))
+        scaled = trace.scaled(2.0)
+        assert np.allclose(scaled.qps, [2.0, 4.0, 8.0])
+        # Relative shape (ratios) is unchanged.
+        assert np.allclose(scaled.qps / scaled.peak_qps, trace.qps / trace.peak_qps)
+
+    def test_scaled_to_peak(self):
+        trace = Trace("t", np.array([1.0, 5.0]))
+        assert trace.scaled_to_peak(100.0).peak_qps == pytest.approx(100.0)
+        with pytest.raises(ValueError):
+            Trace("zero", np.zeros(3)).scaled_to_peak(10.0)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            Trace("t", np.ones(3)).scaled(-1.0)
+
+    def test_resampled_duration_and_range(self):
+        trace = ramp_trace(0.0, 100.0, 100)
+        shorter = trace.resampled(10)
+        assert shorter.duration_s == 10
+        assert shorter.qps.min() >= 0.0
+        assert shorter.qps.max() <= 100.0 + 1e-9
+
+    def test_clipped(self):
+        trace = ramp_trace(0.0, 100.0, 10).clipped(50.0)
+        assert trace.peak_qps <= 50.0
+
+
+class TestGenerators:
+    def test_ramp_trace_endpoints(self):
+        trace = ramp_trace(10.0, 110.0, 11)
+        assert trace.qps[0] == pytest.approx(10.0)
+        assert trace.qps[-1] == pytest.approx(110.0)
+
+    def test_constant_and_step_traces(self):
+        assert np.allclose(constant_trace(5.0, 4).qps, 5.0)
+        steps = step_trace([1.0, 2.0], seconds_per_level=3)
+        assert steps.duration_s == 6
+        assert list(steps.qps) == [1.0, 1.0, 1.0, 2.0, 2.0, 2.0]
+
+    def test_step_trace_validates_duration(self):
+        with pytest.raises(ValueError):
+            step_trace([1.0], seconds_per_level=0)
+
+    def test_azure_like_trace_shape(self):
+        trace = azure_like_trace(duration_s=200, peak_qps=1000.0, trough_fraction=0.3, seed=1)
+        assert trace.duration_s == 200
+        assert trace.peak_qps == pytest.approx(1000.0)
+        # Off-peak trough roughly at the requested fraction (paper's ~1/2.7).
+        assert trace.trough_qps < 0.45 * trace.peak_qps
+        assert trace.trough_qps > 0.1 * trace.peak_qps
+        assert np.all(trace.qps >= 0)
+
+    def test_azure_like_trace_deterministic_per_seed(self):
+        a = azure_like_trace(duration_s=100, seed=3)
+        b = azure_like_trace(duration_s=100, seed=3)
+        c = azure_like_trace(duration_s=100, seed=4)
+        assert np.allclose(a.qps, b.qps)
+        assert not np.allclose(a.qps, c.qps)
+
+    def test_twitter_like_trace_shape(self):
+        trace = twitter_like_trace(duration_s=200, peak_qps=500.0, seed=2)
+        assert trace.peak_qps == pytest.approx(500.0)
+        assert trace.trough_qps < trace.peak_qps
+        assert np.all(trace.qps >= 0)
+
+    def test_generators_reject_too_short_durations(self):
+        with pytest.raises(ValueError):
+            azure_like_trace(duration_s=3)
+        with pytest.raises(ValueError):
+            twitter_like_trace(duration_s=3)
+        with pytest.raises(ValueError):
+            ramp_trace(1.0, 2.0, 0)
+
+    def test_scale_trace_to_capacity(self):
+        trace = azure_like_trace(duration_s=100, peak_qps=1.0, seed=5)
+        scaled = scale_trace_to_capacity(trace, capacity_qps=400.0, peak_fraction=1.5)
+        assert scaled.peak_qps == pytest.approx(600.0)
+        with pytest.raises(ValueError):
+            scale_trace_to_capacity(trace, capacity_qps=0.0)

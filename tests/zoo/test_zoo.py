@@ -1,0 +1,114 @@
+"""Tests for the model zoo: variant families and the pre-built pipelines."""
+
+import pytest
+
+from repro.zoo import (
+    FAMILIES,
+    all_variants,
+    available_pipelines,
+    build_pipeline,
+    clip_family,
+    efficientnet_family,
+    family,
+    linear_pipeline,
+    resnet_family,
+    single_task_pipeline,
+    social_media_pipeline,
+    traffic_analysis_pipeline,
+    vgg_family,
+    yolov5_family,
+)
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("builder", [yolov5_family, efficientnet_family, vgg_family, resnet_family, clip_family])
+    def test_family_accuracies_normalised(self, builder):
+        variants = builder()
+        assert max(v.accuracy for v in variants) == pytest.approx(1.0)
+        assert all(0.0 < v.accuracy <= 1.0 for v in variants)
+        assert len({v.name for v in variants}) == len(variants)
+        assert len({v.family for v in variants}) == 1
+
+    @pytest.mark.parametrize("builder", [yolov5_family, efficientnet_family, vgg_family, resnet_family, clip_family])
+    def test_accuracy_throughput_tradeoff_exists(self, builder):
+        """More accurate family members must not also be the fastest (that would make accuracy scaling pointless)."""
+        variants = sorted(builder(), key=lambda v: v.accuracy)
+        most_accurate = variants[-1]
+        least_accurate = variants[0]
+        assert least_accurate.max_throughput_qps() > most_accurate.max_throughput_qps()
+
+    def test_total_variant_count_matches_paper(self):
+        total = sum(len(v) for v in all_variants().values())
+        assert total == 32  # the paper evaluates 32 model variants
+
+    def test_only_detection_variants_multiply_work(self):
+        for name, variants in all_variants().items():
+            for variant in variants:
+                if name == "yolov5":
+                    assert variant.multiplicative_factor > 1.0
+                else:
+                    assert variant.multiplicative_factor == pytest.approx(1.0)
+
+    def test_detection_accuracy_correlates_with_multiplier(self):
+        variants = sorted(yolov5_family(), key=lambda v: v.accuracy)
+        factors = [v.multiplicative_factor for v in variants]
+        assert factors[0] <= factors[-1]
+
+    def test_family_lookup(self):
+        assert {v.name for v in family("resnet")} == {v.name for v in resnet_family()}
+        with pytest.raises(KeyError):
+            family("bert")
+        assert set(FAMILIES) == {"yolov5", "efficientnet", "vgg", "resnet", "clip"}
+
+
+class TestPipelines:
+    def test_traffic_analysis_structure(self):
+        pipeline = traffic_analysis_pipeline()
+        assert pipeline.root == "object_detection"
+        assert set(pipeline.sinks) == {"car_classification", "facial_recognition"}
+        ratios = {e.child: e.branch_ratio for e in pipeline.children("object_detection")}
+        assert ratios["car_classification"] == pytest.approx(0.6)
+        assert ratios["facial_recognition"] == pytest.approx(0.4)
+        assert pipeline.registry.num_variants("object_detection") == 8
+
+    def test_social_media_structure(self):
+        pipeline = social_media_pipeline()
+        assert pipeline.root == "image_classification"
+        assert pipeline.sinks == ["image_captioning"]
+        assert pipeline.registry.num_variants("image_captioning") == 6
+
+    def test_custom_slo_propagates(self):
+        assert traffic_analysis_pipeline(latency_slo_ms=400.0).latency_slo_ms == 400.0
+        assert social_media_pipeline(latency_slo_ms=300.0).latency_slo_ms == 300.0
+
+    def test_custom_branch_ratios(self):
+        pipeline = traffic_analysis_pipeline(car_branch_ratio=0.8, person_branch_ratio=0.2)
+        assert pipeline.edge("object_detection", "car_classification").branch_ratio == pytest.approx(0.8)
+
+    def test_single_task_pipeline(self):
+        pipeline = single_task_pipeline()
+        assert pipeline.num_tasks == 1
+        assert pipeline.task_paths() == [["classification"]]
+
+    def test_linear_pipeline_structure(self):
+        pipeline = linear_pipeline(num_tasks=4, variants_per_task=3)
+        assert pipeline.num_tasks == 4
+        assert pipeline.max_depth() == 3
+        assert all(pipeline.registry.num_variants(t) == 3 for t in pipeline.tasks)
+        with pytest.raises(ValueError):
+            linear_pipeline(num_tasks=0)
+        with pytest.raises(ValueError):
+            linear_pipeline(variants_per_task=0)
+
+    def test_build_pipeline_factory(self):
+        assert build_pipeline("traffic_analysis").name == "traffic_analysis"
+        assert build_pipeline("social_media").name == "social_media"
+        assert build_pipeline("linear", num_tasks=2).num_tasks == 2
+        with pytest.raises(KeyError):
+            build_pipeline("imaginary")
+        assert set(available_pipelines()) >= {"traffic_analysis", "social_media"}
+
+    def test_paper_pipelines_have_feasible_250ms_paths(self):
+        """Both paper pipelines must admit at least one path within the 250 ms SLO budget."""
+        for pipeline in (traffic_analysis_pipeline(), social_media_pipeline()):
+            assert pipeline.min_path_latency_ms() < 250.0 / 2
