@@ -7,12 +7,16 @@ against a round-robin (capacity-proportional) router on the same allocation
 plan and demand.
 """
 
+
+
 import pytest
 
 from benchmarks.conftest import run_once
 from repro.core.allocation import AllocationProblem
 from repro.core.load_balancer import MostAccurateFirst, workers_from_plan
 from repro.zoo import traffic_analysis_pipeline
+
+pytestmark = pytest.mark.bench
 
 
 def _expected_accuracy_most_accurate_first(pipeline, workers, demand):

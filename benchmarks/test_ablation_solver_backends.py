@@ -3,15 +3,28 @@
 DESIGN.md calls out the solver substrate as a substitution for Gurobi; this
 ablation quantifies what that substitution costs by solving the same
 accuracy-scaling MILP with the HiGHS backend, the pure-Python branch and
-bound, and the greedy LP-rounding heuristic, and comparing both runtime and
-achieved objective (expected system accuracy).
+bound (warm-started simplex engine and, for comparison, the seed-style cold
+scipy-LP engine), and the greedy LP-rounding heuristic, comparing both
+runtime and achieved objective (expected system accuracy).
+
+Two further cases quantify the warm-start and solution-cache paths of
+``repro.solver.solve`` that the control plane exercises between control
+periods.
 """
 
 import pytest
 
 from repro.core.allocation import build_accuracy_scaling_model, AllocationProblem
-from repro.solver import BranchAndBoundSolver, GreedyRoundingSolver, ScipyMilpBackend
+from repro.solver import (
+    BranchAndBoundSolver,
+    GreedyRoundingSolver,
+    ScipyMilpBackend,
+    SolutionCache,
+    solve,
+)
 from repro.zoo import linear_pipeline
+
+pytestmark = pytest.mark.bench
 
 
 @pytest.fixture(scope="module")
@@ -30,6 +43,17 @@ def test_solver_backend_scipy_highs(benchmark, ablation_model):
 
 
 def test_solver_backend_branch_and_bound(benchmark, ablation_model):
+    # Default engine: warm-started built-in simplex (parent-basis dual
+    # re-solves), greedy incumbent, bound tightening.
+    solver = BranchAndBoundSolver(max_nodes=5000, time_limit=30.0)
+    solution = benchmark.pedantic(solver.solve, args=(ablation_model,), rounds=3, iterations=1)
+    assert solution.is_optimal
+    assert solution.info["warm_started_nodes"] > 0
+
+
+def test_solver_backend_branch_and_bound_cold_scipy(benchmark, ablation_model):
+    # Seed-style configuration: cold scipy linprog per node.  Kept as the
+    # ablation baseline for the warm-start speedup.
     solver = BranchAndBoundSolver(relaxation="scipy", max_nodes=5000, time_limit=30.0)
     solution = benchmark.pedantic(solver.solve, args=(ablation_model,), rounds=1, iterations=1)
     assert solution.is_optimal
@@ -41,3 +65,28 @@ def test_solver_backend_greedy_rounding(benchmark, ablation_model):
     assert solution.is_optimal
     # The heuristic must stay within 10% of the optimal system accuracy.
     assert solution.objective >= reference.objective - 0.1 * abs(reference.objective)
+
+
+def test_solver_warm_started_bnb(benchmark, ablation_model):
+    # Re-solving with the previous optimum as a warm start: the incumbent is
+    # seeded before the tree search, so pruning starts from node one.
+    cold = BranchAndBoundSolver(max_nodes=5000, time_limit=30.0).solve(ablation_model)
+    solver = BranchAndBoundSolver(max_nodes=5000, time_limit=30.0)
+    solution = benchmark.pedantic(
+        solver.solve, args=(ablation_model,), kwargs={"warm_start": cold.x}, rounds=3, iterations=1
+    )
+    assert solution.is_optimal
+    assert solution.objective == pytest.approx(cold.objective, rel=1e-6)
+
+
+def test_solver_solution_cache_hit(benchmark, ablation_model):
+    cache = SolutionCache(maxsize=8)
+    solve(ablation_model, backend="scipy", cache=cache)  # populate
+
+    def cached_solve():
+        return solve(ablation_model, backend="scipy", cache=cache)
+
+    solution = benchmark.pedantic(cached_solve, rounds=3, iterations=1)
+    assert solution.is_optimal
+    assert solution.info["cache"] == "hit"
+    assert cache.hits >= 3

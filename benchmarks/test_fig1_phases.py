@@ -1,7 +1,12 @@
 """Benchmark: regenerate Figure 1 (hardware -> accuracy scaling capacity phases)."""
 
+import pytest
+
+
 from benchmarks.conftest import run_once
 from repro.experiments import fig1_phases
+
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
 
 
 def test_fig1_capacity_phases(benchmark):

@@ -1,7 +1,12 @@
 """Benchmark: regenerate Figure 3 (EfficientNet accuracy/throughput trade-off)."""
 
+import pytest
+
+
 from benchmarks.conftest import run_once
 from repro.experiments import fig3_tradeoff
+
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
 
 
 def test_fig3_accuracy_throughput_tradeoff(benchmark):

@@ -1,7 +1,12 @@
 """Benchmark: regenerate Figure 5 (end-to-end comparison, traffic-analysis pipeline)."""
 
+import pytest
+
+
 from benchmarks.conftest import run_once
 from repro.experiments import fig5_traffic
+
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
 
 
 def test_fig5_traffic_analysis_comparison(benchmark):

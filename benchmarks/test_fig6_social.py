@@ -1,7 +1,12 @@
 """Benchmark: regenerate Figure 6 (end-to-end comparison, social-media pipeline)."""
 
+import pytest
+
+
 from benchmarks.conftest import run_once
 from repro.experiments import fig6_social
+
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
 
 
 def test_fig6_social_media_comparison(benchmark):

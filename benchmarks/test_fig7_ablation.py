@@ -1,7 +1,12 @@
 """Benchmark: regenerate Figure 7 (load-balancer early-dropping ablation)."""
 
+import pytest
+
+
 from benchmarks.conftest import run_once
 from repro.experiments import fig7_ablation
+
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
 
 
 def test_fig7_load_balancer_ablation(benchmark):

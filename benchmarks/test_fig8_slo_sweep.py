@@ -1,7 +1,12 @@
 """Benchmark: regenerate Figure 8 (sensitivity to the latency SLO)."""
 
+import pytest
+
+
 from benchmarks.conftest import run_once
 from repro.experiments import fig8_slo_sweep
+
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
 
 
 def test_fig8_slo_sensitivity(benchmark):

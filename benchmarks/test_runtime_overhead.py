@@ -5,11 +5,15 @@ multi-round timing, since a single MILP solve / routing pass is exactly the
 quantity the paper reports (~500 ms and ~0.15 ms respectively).
 """
 
+
+
 import pytest
 
 from repro.core.allocation import AllocationProblem
 from repro.core.load_balancer import MostAccurateFirst, workers_from_plan
 from repro.zoo import social_media_pipeline, traffic_analysis_pipeline
+
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
 
 
 @pytest.fixture(scope="module")

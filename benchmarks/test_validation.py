@@ -1,7 +1,12 @@
 """Benchmark: regenerate the Section 6.2 simulator-validation comparison."""
 
+import pytest
+
+
 from benchmarks.conftest import run_once
 from repro.experiments import validation
+
+pytestmark = [pytest.mark.bench, pytest.mark.slow]
 
 
 def test_simulator_validation(benchmark):

@@ -44,6 +44,8 @@ class ControllerConfig:
     batch_sizes: Optional[Tuple[int, ...]] = None
     drop_policy: str = "opportunistic_rerouting"
     solver_backend: str = "auto"
+    #: seed each control period's MILP with the previous allocation's solution
+    solver_warm_start: bool = True
     min_demand_qps: float = 1.0
 
 
@@ -69,6 +71,7 @@ class Controller:
             min_demand_qps=self.config.min_demand_qps,
             utilization_target=self.config.utilization_target,
             solver_backend=self.config.solver_backend,
+            solver_warm_start=self.config.solver_warm_start,
         )
         self.load_balancer = LoadBalancer(pipeline, refresh_interval_s=self.config.routing_refresh_interval_s)
         self.current_plan: Optional[AllocationPlan] = None

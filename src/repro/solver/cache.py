@@ -1,0 +1,103 @@
+"""Model fingerprinting and an LRU solution cache for the solver subsystem.
+
+The Loki control plane re-solves structurally identical MILPs every control
+period: the demand estimate is quantised, the multiplier estimates are
+rounded, so consecutive periods frequently produce the *same* model.  The
+cache in this module lets :func:`repro.solver.solve` return the previous
+:class:`~repro.solver.model.Solution` for such re-solves without invoking a
+backend at all.
+
+Keys are content fingerprints of the model's matrix form (objective,
+constraints, bounds, integrality, variable names) combined with the backend
+and its options, so a cache hit is only possible when the solve would be
+bit-for-bit identical.  Mutating and re-solving a model therefore never
+returns stale results -- the fingerprint changes with the content.
+
+Hits are observable: the returned solution carries ``info["cache"] == "hit"``
+(misses are stamped ``"miss"``), and :class:`SolutionCache` keeps hit/miss
+counters used by the resource-manager runtime benchmarks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import replace
+from typing import Dict, Optional
+
+from repro.solver.model import Model, Solution
+
+__all__ = ["fingerprint_model", "SolutionCache", "default_cache"]
+
+
+def fingerprint_model(model: Model) -> str:
+    """Content hash of a model's full matrix form (hex digest).
+
+    Two models with the same fingerprint describe the same optimisation
+    problem with the same variable names, so their solutions are
+    interchangeable.
+    """
+    c, A_ub, b_ub, A_eq, b_eq, integrality = model.to_standard_form()
+    lbs, ubs = model.bounds_arrays()
+    h = hashlib.sha256()
+    h.update(str(model.objective_sign).encode())
+    h.update(repr(model.objective.constant).encode())
+    for arr in (c, A_ub, b_ub, A_eq, b_eq, integrality, lbs, ubs):
+        h.update(arr.tobytes())
+    h.update("\x00".join(v.name for v in model.variables).encode())
+    return h.hexdigest()
+
+
+class SolutionCache:
+    """A small LRU cache mapping ``(fingerprint, backend, options)`` to solutions.
+
+    The stored solution is never handed out directly: hits return a shallow
+    copy whose ``info`` dict is private to the caller (so callers can stamp
+    or mutate diagnostics without corrupting the cache).
+    """
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be positive")
+        self.maxsize = int(maxsize)
+        self._entries: "OrderedDict[str, Solution]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(fingerprint: str, backend: str, options: Optional[Dict[str, object]] = None) -> str:
+        option_sig = "&".join(f"{k}={options[k]!r}" for k in sorted(options)) if options else ""
+        return f"{fingerprint}|{backend}|{option_sig}"
+
+    def get(self, key: str) -> Optional[Solution]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return replace(entry, values=dict(entry.values), info={**entry.info, "cache": "hit"})
+
+    def put(self, key: str, solution: Solution) -> None:
+        if key not in self._entries and len(self._entries) >= self.maxsize:
+            self._entries.popitem(last=False)
+        # Store a private copy so later caller-side mutation cannot leak in.
+        self._entries[key] = replace(solution, values=dict(solution.values), info=dict(solution.info))
+        self._entries.move_to_end(key)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "size": len(self._entries)}
+
+
+#: process-wide cache used by :func:`repro.solver.solve` unless the caller
+#: provides their own (or disables caching).
+default_cache = SolutionCache(maxsize=512)

@@ -1,13 +1,23 @@
 """LP-relaxation rounding heuristic for MILPs.
 
 This backend trades optimality for speed: it solves the LP relaxation once,
-rounds integer variables up (allocation problems in Loki are covering-style,
-so rounding up preserves throughput feasibility), then runs a small repair /
-trim loop.  It is used for two things in the reproduction:
+rounds the integer variables (allocation problems in Loki are covering-style,
+so rounding up preserves throughput feasibility), then *re-solves the LP with
+the integers fixed* so the continuous flow variables re-route optimally
+around the rounded decisions (see :mod:`repro.solver.heuristics`).  A trim
+loop then walks integer variables back down while the point stays feasible.
 
-* as a fast fallback when the MILP solve budget is exceeded, and
+It is used for three things in the reproduction:
+
+* as a fast fallback when the MILP solve budget is exceeded,
+* as the incumbent heuristic inside the branch-and-bound backend, and
 * as an ablation point showing the accuracy/latency cost of a cheap allocator
   relative to the optimal MILP plan.
+
+Unlike the seed implementation, the repair loop is complete: when no rounding
+can be completed the solver escalates to an exact branch-and-bound solve
+(bounded by ``fallback_time_limit``) instead of reporting a feasible model as
+infeasible.
 """
 
 from __future__ import annotations
@@ -18,8 +28,9 @@ from typing import Optional
 
 import numpy as np
 
-from repro.solver.model import ERROR, INFEASIBLE, OPTIMAL, Model, Solution
+from repro.solver.model import ERROR, INFEASIBLE, OPTIMAL, UNBOUNDED, Model, Solution
 from repro.solver.branch_and_bound import BranchAndBoundSolver
+from repro.solver.heuristics import diving_round, round_and_repair
 
 __all__ = ["GreedyRoundingSolver"]
 
@@ -30,82 +41,79 @@ class GreedyRoundingSolver:
     Parameters
     ----------
     relaxation:
-        LP engine, ``"scipy"`` or ``"simplex"`` (see
-        :class:`~repro.solver.branch_and_bound.BranchAndBoundSolver`).
+        LP engine, ``"auto"``/``"simplex"`` (warm-started built-in simplex) or
+        ``"scipy"`` (see :class:`~repro.solver.branch_and_bound.BranchAndBoundSolver`).
     trim:
-        When True, after rounding up the solver greedily decrements integer
+        When True, after rounding the solver greedily decrements integer
         variables (largest objective burden first for minimisation) while the
         point stays feasible, tightening the objective.
+    exact_fallback:
+        When no rounding repair succeeds, fall back to an exact
+        branch-and-bound solve so a feasible model always yields a feasible
+        solution.  Disable to observe the raw heuristic.
     """
 
-    def __init__(self, relaxation: str = "scipy", trim: bool = True):
+    def __init__(
+        self,
+        relaxation: str = "auto",
+        trim: bool = True,
+        exact_fallback: bool = True,
+        fallback_time_limit: float = 10.0,
+    ):
         self.relaxation = relaxation
         self.trim = trim
+        self.exact_fallback = exact_fallback
+        self.fallback_time_limit = fallback_time_limit
         self._bnb = BranchAndBoundSolver(relaxation=relaxation)
 
-    def solve(self, model: Model) -> Solution:
+    def solve(self, model: Model, warm_start: Optional[np.ndarray] = None) -> Solution:
         start = time.perf_counter()
         if model.num_vars == 0:
             return Solution(status=OPTIMAL, objective=model.objective.constant, values={}, x=np.zeros(0))
 
         c, A_ub, b_ub, A_eq, b_eq, _ = model.to_standard_form()
         lb, ub = model.bounds_arrays()
-        status, x, _ = self._bnb._solve_relaxation(c, A_ub, b_ub, A_eq, b_eq, lb, ub)
+        engine = self._bnb.resolve_engine(model)
+        info = {"backend": "greedy", "relaxation": engine, "lp_iterations": 0, "warm_started_nodes": 0}
+        status, x, _, basis = self._bnb._solve_relaxation(c, A_ub, b_ub, A_eq, b_eq, lb, ub, None, None, info, None, engine)
         if status == "infeasible":
-            return Solution(status=INFEASIBLE, info={"backend": "greedy"})
+            return Solution(status=INFEASIBLE, info=info)
+        if status == "unbounded":
+            return Solution(status=UNBOUNDED, info=info)
         if status != "optimal":
-            return Solution(status=ERROR, info={"backend": "greedy", "relaxation_status": status})
+            return Solution(status=ERROR, info={**info, "relaxation_status": status})
 
-        x = np.asarray(x, dtype=float)
-        integer_idx = model.integer_indices
+        integer_idx = np.asarray(model.integer_indices, dtype=int)
+        deadline = start + self.fallback_time_limit
+        oracle = self._bnb._make_fixing_oracle(
+            c, A_ub, b_ub, A_eq, b_eq, basis, ub, info, None, engine, deadline
+        )
+        repaired = round_and_repair(c, A_ub, b_ub, A_eq, b_eq, lb, ub, integer_idx, np.asarray(x, dtype=float), oracle)
+        if repaired is None:
+            # Bulk rounding unrepairable: dive instead (one fix per LP).
+            repaired = diving_round(lb, ub, integer_idx, np.asarray(x, dtype=float), oracle)
+            info["dive"] = repaired is not None
 
-        # Round integers up (covering direction), clipped to their bounds.
-        for idx in integer_idx:
-            x[idx] = min(math.ceil(x[idx] - 1e-9), ub[idx])
-            x[idx] = max(x[idx], lb[idx])
-
-        if not model.is_feasible_point(x):
-            # Rounding up can violate packing constraints (e.g. the cluster
-            # size cap).  Try a simple repair: decrement the integer variable
-            # with the smallest LP fractional part until feasible or stuck.
-            x = self._repair(model, x, integer_idx)
-            if x is None:
-                return Solution(status=INFEASIBLE, info={"backend": "greedy", "reason": "rounding repair failed"})
+        if repaired is None:
+            if not self.exact_fallback:
+                return Solution(status=INFEASIBLE, info={**info, "reason": "rounding repair failed"})
+            # Exact escalation: the heuristic could not complete any rounding,
+            # but the model may still be feasible -- let branch and bound decide.
+            exact = BranchAndBoundSolver(
+                relaxation=self.relaxation, time_limit=self.fallback_time_limit
+            ).solve(model, warm_start=warm_start)
+            exact.info.update(backend="greedy", fallback="bnb", runtime_s=time.perf_counter() - start)
+            return exact
 
         if self.trim:
-            x = self._trim(model, x, integer_idx)
+            repaired = self._trim(model, repaired, integer_idx)
 
         elapsed = time.perf_counter() - start
-        return model.make_solution(x, status=OPTIMAL, backend="greedy", runtime_s=elapsed, optimal_proven=False)
+        return model.make_solution(
+            repaired, status=OPTIMAL, runtime_s=elapsed, optimal_proven=False, **info
+        )
 
     # -- internals --------------------------------------------------------
-    @staticmethod
-    def _repair(model: Model, x: np.ndarray, integer_idx) -> Optional[np.ndarray]:
-        x = x.copy()
-        lb, _ = model.bounds_arrays()
-        for _ in range(10 * max(1, len(integer_idx))):
-            if model.is_feasible_point(x):
-                return x
-            # Decrement the integer variable that reduces total constraint
-            # violation the most.
-            best_idx, best_violation = None, GreedyRoundingSolver._total_violation(model, x)
-            for idx in integer_idx:
-                if x[idx] - 1 < lb[idx]:
-                    continue
-                x[idx] -= 1
-                violation = GreedyRoundingSolver._total_violation(model, x)
-                if violation < best_violation - 1e-12:
-                    best_violation, best_idx = violation, idx
-                x[idx] += 1
-            if best_idx is None:
-                return None
-            x[best_idx] -= 1
-        return x if model.is_feasible_point(x) else None
-
-    @staticmethod
-    def _total_violation(model: Model, x: np.ndarray) -> float:
-        return sum(con.violation(x) for con in model.constraints)
-
     @staticmethod
     def _trim(model: Model, x: np.ndarray, integer_idx) -> np.ndarray:
         """Greedily decrement integer variables while staying feasible and improving the objective."""
@@ -115,7 +123,7 @@ class GreedyRoundingSolver:
         for idx, coeff in model.objective.coeffs.items():
             obj_coeffs[idx] = coeff * model.objective_sign  # minimisation direction
         # Only trimming variables with positive minimisation cost can improve.
-        candidates = [idx for idx in integer_idx if obj_coeffs[idx] > 0]
+        candidates = [int(idx) for idx in integer_idx if obj_coeffs[idx] > 0]
         candidates.sort(key=lambda idx: -obj_coeffs[idx])
         improved = True
         while improved:

@@ -297,6 +297,10 @@ class Model:
         #: +1 for minimisation, -1 for maximisation
         self.objective_sign: int = 1
         self._names: Dict[str, Variable] = {}
+        #: bumped on every structural change; invalidates the matrix caches
+        self._revision: int = 0
+        self._standard_form_cache: Optional[Tuple[int, Tuple[np.ndarray, ...]]] = None
+        self._bounds_cache: Optional[Tuple[int, Tuple[np.ndarray, np.ndarray]]] = None
 
     # -- building ---------------------------------------------------------
     def add_var(
@@ -314,6 +318,7 @@ class Model:
         var = Variable(index=len(self.variables), name=name, lb=float(lb), ub=float(ub), integer=integer)
         self.variables.append(var)
         self._names[name] = var
+        self._revision += 1
         return var
 
     def add_vars(self, names: Iterable[str], **kwargs) -> List[Variable]:
@@ -330,6 +335,7 @@ class Model:
         elif not constraint.name:
             constraint.name = f"c{len(self.constraints)}"
         self.constraints.append(constraint)
+        self._revision += 1
         return constraint
 
     def add_constraints(self, constraints: Iterable[Constraint], prefix: str = "c") -> List[Constraint]:
@@ -341,10 +347,12 @@ class Model:
     def minimize(self, expr: Union[LinExpr, Variable]) -> None:
         self.objective = expr.to_expr() if isinstance(expr, Variable) else expr.copy()
         self.objective_sign = 1
+        self._revision += 1
 
     def maximize(self, expr: Union[LinExpr, Variable]) -> None:
         self.objective = expr.to_expr() if isinstance(expr, Variable) else expr.copy()
         self.objective_sign = -1
+        self._revision += 1
 
     # -- matrix form -------------------------------------------------------
     @property
@@ -360,8 +368,13 @@ class Model:
         return [v.index for v in self.variables if v.integer]
 
     def bounds_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Lower/upper bound vectors.  Treat the returned arrays as read-only:
+        they are cached until the model changes structurally."""
+        if self._bounds_cache is not None and self._bounds_cache[0] == self._revision:
+            return self._bounds_cache[1]
         lbs = np.array([v.lb for v in self.variables], dtype=float)
         ubs = np.array([v.ub for v in self.variables], dtype=float)
+        self._bounds_cache = (self._revision, (lbs, ubs))
         return lbs, ubs
 
     def to_standard_form(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
@@ -371,7 +384,13 @@ class Model:
         problems (the sign flip is applied), so every backend minimises
         ``c @ x`` and reports ``objective_sign * (c @ x)``... i.e. callers
         should use :meth:`recover_objective`.
+
+        Treat the returned arrays as read-only: the matrix form is cached
+        until the model changes structurally (it is requested several times
+        per solve -- fingerprinting, presolve, and the backend itself).
         """
+        if self._standard_form_cache is not None and self._standard_form_cache[0] == self._revision:
+            return self._standard_form_cache[1]
         n = self.num_vars
         c = np.zeros(n)
         for idx, coeff in self.objective.coeffs.items():
@@ -399,7 +418,9 @@ class Model:
         A_eq = np.array(eq_rows) if eq_rows else np.zeros((0, n))
         b_eq = np.array(eq_rhs) if eq_rhs else np.zeros(0)
         integrality = np.array([1 if v.integer else 0 for v in self.variables])
-        return c, A_ub, b_ub, A_eq, b_eq, integrality
+        result = (c, A_ub, b_ub, A_eq, b_eq, integrality)
+        self._standard_form_cache = (self._revision, result)
+        return result
 
     def recover_objective(self, x: np.ndarray) -> float:
         """Evaluate the *original* (sign-corrected) objective at ``x``."""

@@ -87,8 +87,12 @@ class ScipyMilpBackend:
         info = {
             "backend": "scipy-highs",
             "runtime_s": elapsed,
+            "status_code": int(getattr(result, "status", -1)),
             "message": getattr(result, "message", ""),
             "mip_gap": getattr(result, "mip_gap", math.nan),
+            # status 1 = iteration/time limit: the incumbent (if any) is
+            # returned but not proven optimal.
+            "optimal_proven": getattr(result, "status", -1) == 0,
         }
 
         # scipy.optimize.milp status codes: 0 optimal, 1 iteration/time limit,

@@ -1,0 +1,224 @@
+"""Tests for solver warm starting and the fingerprint-keyed solution cache."""
+
+import numpy as np
+import pytest
+
+from repro.solver import (
+    BranchAndBoundSolver,
+    Model,
+    OPTIMAL,
+    SolutionCache,
+    WarmStart,
+    default_cache,
+    fingerprint_model,
+    solve,
+)
+from repro.solver.simplex import LinProgProblem, SimplexSolver
+
+
+def build_allocation_like_model(demand: float = 90.0, cap: int = 10) -> Model:
+    """A miniature accuracy-scaling MILP: replicas + flows, covering a demand."""
+    m = Model("alloc-mini")
+    throughputs = [12.0, 20.0, 33.0]
+    accuracies = [0.98, 0.9, 0.8]
+    xs = [m.add_var(f"x{i}", ub=cap, integer=True) for i in range(3)]
+    gs = [m.add_var(f"g{i}") for i in range(3)]
+    total_flow = gs[0] + gs[1] + gs[2]
+    m.add_constraint(total_flow == demand, name="demand")
+    for i in range(3):
+        m.add_constraint(gs[i] <= xs[i] * throughputs[i], name=f"cap{i}")
+    m.add_constraint(xs[0] + xs[1] + xs[2] <= cap, name="cluster")
+    acc = gs[0] * (accuracies[0] / demand)
+    for i in (1, 2):
+        acc = acc + gs[i] * (accuracies[i] / demand)
+    m.maximize(acc)
+    return m
+
+
+class TestSimplexWarmStart:
+    def _problem(self, ub2):
+        # min -x - 2y s.t. x + y <= 4, x <= 3, y <= ub2
+        return LinProgProblem(
+            c=np.array([-1.0, -2.0]),
+            A_ub=np.array([[1.0, 1.0], [1.0, 0.0]]),
+            b_ub=np.array([4.0, 3.0]),
+            A_eq=np.zeros((0, 2)),
+            b_eq=np.zeros(0),
+            lb=np.zeros(2),
+            ub=np.array([10.0, ub2]),
+        )
+
+    def test_warm_start_after_bound_change_matches_cold(self):
+        solver = SimplexSolver()
+        base = solver.solve(self._problem(10.0))
+        assert base.success and base.basis is not None
+
+        tightened = self._problem(2.0)
+        warm = solver.solve(tightened, warm_start=base.warm_start)
+        cold = solver.solve(tightened)
+        assert warm.success and cold.success
+        assert warm.warm_started and not cold.warm_started
+        assert warm.objective == pytest.approx(cold.objective, abs=1e-9)
+        # Dual re-solve from a near-optimal basis takes (far) fewer pivots.
+        assert warm.iterations <= cold.iterations
+
+    def test_warm_start_tableau_path_skips_factorisation(self):
+        solver = SimplexSolver()
+        base = solver.solve(self._problem(10.0))
+        assert base.tableau is not None
+        warm = solver.solve(self._problem(1.0), warm_start=WarmStart(basis=base.basis, tableau=base.tableau))
+        cold = solver.solve(self._problem(1.0))
+        assert warm.success
+        assert warm.objective == pytest.approx(cold.objective, abs=1e-9)
+
+    def test_warm_start_certifies_infeasibility(self):
+        solver = SimplexSolver()
+        base = solver.solve(self._problem(10.0))
+        # x >= 5 via lb conflicts with x <= 3: the dual simplex must certify it.
+        p = self._problem(10.0)
+        p.lb = np.array([5.0, 0.0])
+        warm = solver.solve(p, warm_start=base.warm_start)
+        assert warm.status == "infeasible"
+
+    def test_invalid_basis_falls_back_cold(self):
+        solver = SimplexSolver()
+        p = self._problem(10.0)
+        result = solver.solve(p, warm_start=np.array([999, 1000, 1001, 1002]))
+        assert result.success  # silently solved cold
+        assert not result.warm_started
+
+    def test_structure_change_is_detected(self):
+        solver = SimplexSolver()
+        base = solver.solve(self._problem(10.0))
+        changed = self._problem(np.inf)  # ub pattern changes: fewer bound rows
+        assert changed.structure_key() != self._problem(10.0).structure_key()
+        result = solver.solve(changed, warm_start=base.warm_start)
+        assert result.success  # fell back cold; still correct
+        cold = solver.solve(changed)
+        assert result.objective == pytest.approx(cold.objective, abs=1e-9)
+
+
+class TestBnbWarmStart:
+    def test_warm_start_seeds_incumbent(self):
+        model = build_allocation_like_model()
+        cold = BranchAndBoundSolver().solve(model)
+        assert cold.status == OPTIMAL
+
+        rebuilt = build_allocation_like_model()
+        warm = BranchAndBoundSolver().solve(rebuilt, warm_start=cold.x)
+        assert warm.status == OPTIMAL
+        assert warm.objective == pytest.approx(cold.objective, rel=1e-6)
+        assert warm.info["incumbent_source"] in ("warm_start", "heuristic", "tree")
+
+    def test_warm_start_on_perturbed_model_matches_cold(self):
+        base = BranchAndBoundSolver().solve(build_allocation_like_model(demand=90.0))
+        perturbed = build_allocation_like_model(demand=96.0)
+        warm = BranchAndBoundSolver().solve(perturbed, warm_start=base.x)
+        cold = BranchAndBoundSolver().solve(perturbed)
+        assert warm.status == OPTIMAL and cold.status == OPTIMAL
+        assert warm.objective == pytest.approx(cold.objective, abs=max(1e-6, 2e-4 * abs(cold.objective)))
+
+    def test_infeasible_warm_start_is_ignored(self):
+        model = build_allocation_like_model()
+        bogus = np.full(model.num_vars, 1e6)
+        solution = BranchAndBoundSolver().solve(model, warm_start=bogus)
+        assert solution.status == OPTIMAL  # bogus seed discarded, solve unharmed
+
+    def test_name_based_warm_start_via_solve(self):
+        """solve() maps Solution values by variable name across model rebuilds."""
+        first = solve(build_allocation_like_model(), backend="bnb", cache=False)
+        assert first.status == OPTIMAL
+        again = solve(build_allocation_like_model(demand=96.0), backend="bnb", warm_start=first, cache=False)
+        assert again.status == OPTIMAL
+
+
+class TestSolutionCache:
+    def test_cache_miss_then_hit_observable_via_info(self):
+        cache = SolutionCache(maxsize=4)
+        model = build_allocation_like_model()
+        first = solve(model, backend="scipy", cache=cache)
+        assert first.info["cache"] == "miss"
+        second = solve(model, backend="scipy", cache=cache)
+        assert second.info["cache"] == "hit"
+        assert second.objective == pytest.approx(first.objective, abs=1e-9)
+        assert cache.stats == {"hits": 1, "misses": 1, "size": 1}
+
+    def test_rebuilt_identical_model_hits(self):
+        cache = SolutionCache(maxsize=4)
+        solve(build_allocation_like_model(), backend="scipy", cache=cache)
+        second = solve(build_allocation_like_model(), backend="scipy", cache=cache)
+        assert second.info["cache"] == "hit"
+
+    def test_model_change_misses(self):
+        cache = SolutionCache(maxsize=4)
+        solve(build_allocation_like_model(demand=90.0), backend="scipy", cache=cache)
+        other = solve(build_allocation_like_model(demand=91.0), backend="scipy", cache=cache)
+        assert other.info["cache"] == "miss"
+
+    def test_backend_and_options_partition_the_cache(self):
+        cache = SolutionCache(maxsize=8)
+        model = build_allocation_like_model()
+        solve(model, backend="scipy", cache=cache)
+        bnb = solve(model, backend="bnb", cache=cache)
+        assert bnb.info["cache"] == "miss"  # different backend, different key
+        tweaked = solve(model, backend="scipy", cache=cache, mip_rel_gap=1e-3)
+        assert tweaked.info["cache"] == "miss"  # different options, different key
+
+    def test_cache_disabled(self):
+        model = build_allocation_like_model()
+        first = solve(model, backend="scipy", cache=False)
+        assert first.info["cache"] == "off"
+
+    def test_lru_eviction(self):
+        cache = SolutionCache(maxsize=2)
+        for demand in (80.0, 90.0, 100.0):
+            solve(build_allocation_like_model(demand=demand), backend="scipy", cache=cache)
+        assert len(cache) == 2
+        oldest = solve(build_allocation_like_model(demand=80.0), backend="scipy", cache=cache)
+        assert oldest.info["cache"] == "miss"  # evicted
+
+    def test_cached_solution_is_isolated_from_caller_mutation(self):
+        cache = SolutionCache(maxsize=4)
+        model = build_allocation_like_model()
+        first = solve(model, backend="scipy", cache=cache)
+        first.info["poison"] = True
+        first.values["x0"] = -42.0
+        second = solve(model, backend="scipy", cache=cache)
+        assert "poison" not in second.info
+        assert second.values["x0"] != -42.0
+
+    def test_fingerprint_is_content_addressed(self):
+        a = fingerprint_model(build_allocation_like_model())
+        b = fingerprint_model(build_allocation_like_model())
+        c = fingerprint_model(build_allocation_like_model(demand=91.0))
+        assert a == b
+        assert a != c
+
+    def test_default_cache_exists_and_counts(self):
+        before = default_cache.stats["misses"]
+        solve(build_allocation_like_model(demand=123.456), backend="scipy")
+        assert default_cache.stats["misses"] >= before + 1
+
+
+class TestControlPlaneWarmStart:
+    def test_resource_manager_passes_warm_starts(self, small_pipeline):
+        from repro.core.resource_manager import ResourceManager
+
+        rm = ResourceManager(small_pipeline, num_workers=8, solver_backend="bnb", demand_quantum_qps=5.0)
+        rm.observe_demand(0.0, 40.0)
+        rm.allocate(0.0)
+        assert rm.stats.warm_started_solves == 0  # no previous plan yet
+        rm.observe_demand(10.0, 80.0)
+        rm.allocate(10.0)
+        assert rm.stats.warm_started_solves == 1
+        assert rm.current_plan is not None and rm.current_plan.feasible
+
+    def test_allocation_plan_records_solution_values(self, small_pipeline):
+        from repro.core.allocation import AllocationProblem
+
+        problem = AllocationProblem(small_pipeline, num_workers=8)
+        plan = problem.solve(40.0)
+        assert plan.feasible
+        assert plan.solution_values  # raw variable values retained for warm starts
+        warm_plan = problem.solve(44.0, warm_start=plan.solution_values)
+        assert warm_plan.feasible
