@@ -7,9 +7,9 @@ Used to populate EXPERIMENTS.md.  Each experiment's stdout is written to
 
 from __future__ import annotations
 
+import argparse
 import contextlib
 import io
-import json
 import pathlib
 import sys
 import time
@@ -43,15 +43,35 @@ def capture(name: str, fn, **kwargs):
     return result
 
 
-def main() -> None:
-    capture("fig3_tradeoff", fig3_tradeoff.main)
-    capture("fig1_phases", fig1_phases.main, num_points=12)
-    capture("validation", validation.main)
-    capture("runtime_overhead", runtime_overhead.main)
-    capture("fig7_ablation", fig7_ablation.main, duration_s=120)
-    capture("fig8_slo_sweep", fig8_slo_sweep.main, duration_s=120)
-    capture("fig5_traffic", fig5_traffic.main, duration_s=240)
-    capture("fig6_social", fig6_social.main, duration_s=240)
+#: name -> (module.main, default kwargs).  The simulation-driven experiments
+#: fan their runs across processes through the SweepRunner internally.
+EXPERIMENTS = {
+    "fig3_tradeoff": (fig3_tradeoff.main, {}),
+    "fig1_phases": (fig1_phases.main, {"num_points": 12}),
+    "validation": (validation.main, {}),
+    "runtime_overhead": (runtime_overhead.main, {}),
+    "fig7_ablation": (fig7_ablation.main, {"duration_s": 120}),
+    "fig8_slo_sweep": (fig8_slo_sweep.main, {"duration_s": 120}),
+    "fig5_traffic": (fig5_traffic.main, {"duration_s": 240}),
+    "fig6_social": (fig6_social.main, {"duration_s": 240}),
+}
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--only",
+        default="",
+        help=f"comma-separated subset of experiments to run (available: {', '.join(EXPERIMENTS)})",
+    )
+    args = parser.parse_args(argv)
+    selected = [name.strip() for name in args.only.split(",") if name.strip()] or list(EXPERIMENTS)
+    unknown = set(selected) - set(EXPERIMENTS)
+    if unknown:
+        parser.error(f"unknown experiments: {sorted(unknown)}")
+    for name in selected:
+        fn, kwargs = EXPERIMENTS[name]
+        capture(name, fn, **kwargs)
     print("all experiments complete")
 
 

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Run registered scenarios across seeds in parallel and print the aggregates.
+
+Examples
+--------
+List the catalogue::
+
+    python scripts/run_sweep.py --list
+
+CI smoke sweep (2 scenarios x 2 seeds)::
+
+    python scripts/run_sweep.py --scenarios smoke,smoke_failure --seeds 0,1
+
+A bigger grid with shortened runs and a JSON dump::
+
+    python scripts/run_sweep.py --scenarios traffic_azure,traffic_azure_mmpp \
+        --seeds 0-4 --duration-s 60 --json results/sweep.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import pathlib
+import sys
+import time
+
+from repro.scenarios import SweepRunner, get_scenario, scenario_names
+
+
+def parse_seeds(text: str) -> list:
+    """``"0,1,5"`` or ``"0-4"`` (inclusive) or a mix of both."""
+    seeds = []
+    for part in text.split(","):
+        part = part.strip()
+        if "-" in part[1:]:
+            lo, hi = part.split("-", 1)
+            seeds.extend(range(int(lo), int(hi) + 1))
+        elif part:
+            seeds.append(int(part))
+    return seeds
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--scenarios", default="", help="comma-separated registry names")
+    parser.add_argument("--seeds", default="0", help="e.g. '0,1,2' or '0-4'")
+    parser.add_argument("--duration-s", type=int, default=None, help="override every scenario's trace duration")
+    parser.add_argument("--num-workers", type=int, default=None, help="override the cluster size")
+    parser.add_argument("--pool", type=int, default=None, help="process-pool size (default: min(8, cpus))")
+    parser.add_argument("--serial", action="store_true", help="disable the process pool")
+    parser.add_argument("--json", default=None, help="write per-run records to this JSON file")
+    parser.add_argument("--list", action="store_true", help="list registered scenarios and exit")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.scenarios:
+        print("registered scenarios:")
+        for name in scenario_names():
+            print(f"  {name:24s} {get_scenario(name).description}")
+        return 0
+
+    names = [name.strip() for name in args.scenarios.split(",") if name.strip()]
+    seeds = parse_seeds(args.seeds)
+    if not seeds:
+        parser.error(f"--seeds {args.seeds!r} produced no seeds (inverted range or empty list?)")
+    specs = []
+    for name in names:
+        spec = get_scenario(name)
+        if args.duration_s is not None:
+            if not isinstance(spec.trace, str):
+                parser.error(
+                    f"scenario {name!r} carries a prebuilt trace object; "
+                    "--duration-s only applies to factory-built traces"
+                )
+            params = dict(spec.trace_params)
+            params["duration_s"] = args.duration_s
+            spec = spec.with_overrides(trace_params=params)
+        if args.num_workers is not None:
+            spec = spec.with_overrides(num_workers=args.num_workers)
+        specs.append(spec)
+
+    runner = SweepRunner(max_workers=args.pool, parallel=not args.serial)
+    start = time.perf_counter()
+    result = runner.run(specs, seeds=seeds)
+    elapsed = time.perf_counter() - start
+
+    print(result.table())
+    total_events = sum(r.summary.total_requests for r in result.records)
+    print(
+        f"\n{len(result.records)} runs ({len(names)} scenarios x {len(seeds)} seeds), "
+        f"{total_events} requests, wall {elapsed:.1f}s"
+        f" ({'serial' if not runner.parallel else f'{runner.max_workers} processes'})"
+    )
+
+    if args.json:
+        payload = [
+            {
+                "scenario": record.scenario,
+                "seed": record.seed,
+                "wall_s": record.wall_s,
+                "summary": {
+                    k: v
+                    for k, v in dataclasses.asdict(record.summary).items()
+                    if k != "intervals"
+                },
+            }
+            for record in result.records
+        ]
+        path = pathlib.Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2))
+        print(f"records written to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,16 +1,29 @@
-"""Shared helpers for the experiment harness."""
+"""Shared helpers for the experiment harness.
+
+The system factories and per-run config plumbing that used to live here moved
+into the scenario substrate (:mod:`repro.scenarios`); the experiment harness
+now describes each run as a :class:`ScenarioSpec` and executes it directly
+(:func:`run_system`) or through the parallel :class:`SweepRunner`
+(:func:`scenario_for_system` + :meth:`SweepRunner.run`).
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, Optional
 
 import numpy as np
 
-from repro.baselines import InferLineControlPlane, ProteusControlPlane
-from repro.core import Controller, ControllerConfig
 from repro.core.pipeline import Pipeline
-from repro.simulator import ServingSimulation, SimulationConfig, SimulationSummary
+from repro.scenarios import (
+    SYSTEM_FACTORIES,
+    ScenarioSpec,
+    make_inferline,
+    make_loki,
+    make_proteus,
+)
+from repro.scenarios.sweep import format_table
+from repro.simulator import ServingSimulation, SimulationSummary
 from repro.workloads import Trace
 
 __all__ = [
@@ -19,6 +32,7 @@ __all__ = [
     "make_inferline",
     "make_proteus",
     "SYSTEM_FACTORIES",
+    "scenario_for_system",
     "run_system",
     "format_table",
     "off_peak_mean_workers",
@@ -49,39 +63,35 @@ class SystemRun:
         return self.summary.mean_workers
 
 
-def make_loki(pipeline: Pipeline, num_workers: int, slo_ms: float, **overrides) -> Controller:
-    """Loki's control plane with the experiment defaults.
+def scenario_for_system(
+    system: str,
+    pipeline: Pipeline,
+    trace: Trace,
+    num_workers: int = 20,
+    slo_ms: float = 250.0,
+    drop_policy: Optional[str] = None,
+    sim_overrides: Optional[Dict[str, object]] = None,
+    control_overrides: Optional[Dict[str, object]] = None,
+) -> ScenarioSpec:
+    """The :class:`ScenarioSpec` of one system on one concrete trace.
 
-    The experiment traces are heavily time-compressed relative to the paper's
-    full-day traces (minutes instead of hours), so demand moves much faster
-    between Resource Manager invocations; a slightly larger provisioning
-    headroom and a more sensitive significant-change trigger compensate.
+    The baselines do not implement opportunistic rerouting, so unless a drop
+    policy is given explicitly they run without early dropping while Loki uses
+    its full policy (``drop_policy=None`` selects exactly that default).
     """
-    config = ControllerConfig(
+    if system not in SYSTEM_FACTORIES:
+        raise KeyError(f"unknown system {system!r}; available: {sorted(SYSTEM_FACTORIES)}")
+    return ScenarioSpec(
+        name=f"{system}:{pipeline.name}:{trace.name}",
+        pipeline=pipeline,
+        system=system,
+        trace=trace,
         num_workers=num_workers,
-        latency_slo_ms=slo_ms,
-        headroom=overrides.pop("headroom", 1.2),
-        reallocation_threshold=overrides.pop("reallocation_threshold", 0.15),
-        demand_quantum_qps=overrides.pop("demand_quantum_qps", 20.0),
-        **overrides,
+        slo_ms=slo_ms,
+        drop_policy=drop_policy,
+        sim_overrides=dict(sim_overrides or {}),
+        control_overrides=dict(control_overrides or {}),
     )
-    return Controller(pipeline, config)
-
-
-def make_inferline(pipeline: Pipeline, num_workers: int, slo_ms: float, **overrides) -> InferLineControlPlane:
-    return InferLineControlPlane(pipeline, num_workers, latency_slo_ms=slo_ms, **overrides)
-
-
-def make_proteus(pipeline: Pipeline, num_workers: int, slo_ms: float, **overrides) -> ProteusControlPlane:
-    return ProteusControlPlane(pipeline, num_workers, latency_slo_ms=slo_ms, **overrides)
-
-
-#: The three systems compared in Figures 5 and 6.
-SYSTEM_FACTORIES: Dict[str, Callable] = {
-    "loki": make_loki,
-    "inferline": make_inferline,
-    "proteus": make_proteus,
-}
 
 
 def run_system(
@@ -95,32 +105,25 @@ def run_system(
     sim_overrides: Optional[Dict[str, object]] = None,
     control_overrides: Optional[Dict[str, object]] = None,
 ) -> SystemRun:
-    """Simulate one system on one trace and return its :class:`SystemRun`.
-
-    The baselines do not implement opportunistic rerouting, so unless a drop
-    policy is given explicitly they run without early dropping while Loki uses
-    its full policy.
-    """
-    if system not in SYSTEM_FACTORIES:
-        raise KeyError(f"unknown system {system!r}; available: {sorted(SYSTEM_FACTORIES)}")
-    control_plane = SYSTEM_FACTORIES[system](pipeline, num_workers, slo_ms, **(control_overrides or {}))
-    if drop_policy is None:
-        drop_policy = "opportunistic_rerouting" if system == "loki" else "no_early_dropping"
-    config = SimulationConfig(
+    """Simulate one system on one trace in-process and return its :class:`SystemRun`."""
+    spec = scenario_for_system(
+        system,
+        pipeline,
+        trace,
         num_workers=num_workers,
-        latency_slo_ms=slo_ms,
-        seed=seed,
+        slo_ms=slo_ms,
         drop_policy=drop_policy,
-        **(sim_overrides or {}),
+        sim_overrides=sim_overrides,
+        control_overrides=control_overrides,
     )
-    simulation = ServingSimulation(pipeline, control_plane, trace, config)
+    simulation = spec.build(seed)
     summary = simulation.run()
     return SystemRun(
         system=system,
         pipeline=pipeline.name,
         trace=trace.name,
         summary=summary,
-        control_plane=control_plane,
+        control_plane=simulation.control_plane,
         simulation=simulation,
     )
 
@@ -139,14 +142,6 @@ def off_peak_mean_workers(summary: SimulationSummary, fraction: float = 0.2) -> 
     return float(np.mean([i.active_workers for i in ordered[:count]]))
 
 
-def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
-    """Fixed-width text table used by every experiment's ``main()``."""
-    columns = [[str(h)] + [str(row[i]) for row in rows] for i, h in enumerate(headers)]
-    widths = [max(len(value) for value in column) for column in columns]
-    lines = []
-    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
-    lines.append(header_line)
-    lines.append("  ".join("-" * w for w in widths))
-    for row in rows:
-        lines.append("  ".join(str(value).ljust(w) for value, w in zip(row, widths)))
-    return "\n".join(lines)
+# format_table (re-exported above from repro.scenarios.sweep) is the single
+# fixed-width table helper shared by every experiment's main() and the sweep
+# CLI.

@@ -4,6 +4,10 @@ Runs Loki, InferLine and Proteus on the same pipeline, cluster and demand
 trace, then derives the paper's headline numbers: effective-capacity gain over
 hardware scaling alone, SLO-violation reduction over pipeline-agnostic
 accuracy scaling, and off-peak server savings.
+
+Each (system, seed) run is a :class:`ScenarioSpec` executed through the
+parallel :class:`SweepRunner`, so multi-seed comparisons cost one run's wall
+clock per pool slot instead of ``systems x seeds`` serial runs.
 """
 
 from __future__ import annotations
@@ -13,7 +17,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.allocation import AllocationProblem
 from repro.core.pipeline import Pipeline
-from repro.experiments.common import SystemRun, format_table, off_peak_mean_workers, run_system
+from repro.experiments.common import SystemRun, format_table, off_peak_mean_workers, scenario_for_system
+from repro.scenarios import MetricStats, SweepResult, SweepRunner
 from repro.workloads import Trace, scale_trace_to_capacity
 
 __all__ = ["ComparisonResult", "run_comparison", "print_comparison"]
@@ -27,9 +32,20 @@ class ComparisonResult:
     trace_name: str
     num_workers: int
     slo_ms: float
+    #: primary-seed run per system (the figures' headline numbers)
     runs: Dict[str, SystemRun]
     hardware_capacity_qps: float
     accuracy_scaling_capacity_qps: float
+    #: every (system, seed) record of the sweep
+    sweep: SweepResult = field(default=None, repr=False)
+    seeds: Sequence[int] = (0,)
+
+    def aggregate(self, metric: str) -> Dict[str, MetricStats]:
+        """Across-seed statistics of one summary metric, keyed by system."""
+        if self.sweep is None:
+            raise ValueError("comparison was run without a sweep result")
+        per_scenario = self.sweep.aggregate(metric)
+        return {scenario.split(":", 1)[0]: stats for scenario, stats in per_scenario.items()}
 
     # -- headline metrics ------------------------------------------------------
     @property
@@ -72,9 +88,11 @@ def run_comparison(
     slo_ms: float = 250.0,
     systems: Sequence[str] = ("loki", "inferline", "proteus"),
     seed: int = 0,
+    seeds: Optional[Sequence[int]] = None,
     peak_over_hardware: Optional[float] = None,
     peak_fraction: Optional[float] = None,
     sim_overrides: Optional[Dict[str, object]] = None,
+    sweep_runner: Optional[SweepRunner] = None,
 ) -> ComparisonResult:
     """Run all systems on ``trace``.
 
@@ -83,6 +101,10 @@ def run_comparison(
     hardware scaling alone can serve by ~2.5x, while the trough stays below it
     so the hardware-scaling phase is exercised too).  ``peak_fraction``
     alternatively rescales relative to the accuracy-scaling capacity.
+
+    ``seeds`` replays every system under several seeds (default: just
+    ``seed``); the headline ``runs`` use the first seed and
+    :meth:`ComparisonResult.aggregate` exposes the across-seed statistics.
     """
     problem = AllocationProblem(pipeline, num_workers=num_workers, latency_slo_ms=slo_ms)
     hardware_capacity = problem.max_supported_demand(restrict_to_best=True).max_demand_qps
@@ -93,16 +115,28 @@ def run_comparison(
     elif peak_fraction is not None:
         trace = scale_trace_to_capacity(trace, full_capacity, peak_fraction=peak_fraction)
 
-    runs: Dict[str, SystemRun] = {}
-    for system in systems:
-        runs[system] = run_system(
+    seeds = list(seeds) if seeds is not None else [seed]
+    specs = [
+        scenario_for_system(
             system,
             pipeline,
             trace,
             num_workers=num_workers,
             slo_ms=slo_ms,
-            seed=seed,
             sim_overrides=sim_overrides,
+        )
+        for system in systems
+    ]
+    runner = sweep_runner or SweepRunner()
+    sweep = runner.run(specs, seeds=seeds)
+
+    runs: Dict[str, SystemRun] = {}
+    for system, spec in zip(systems, specs):
+        runs[system] = SystemRun(
+            system=system,
+            pipeline=pipeline.name,
+            trace=trace.name,
+            summary=sweep.record(spec.name, seeds[0]).summary,
         )
     return ComparisonResult(
         pipeline_name=pipeline.name,
@@ -112,6 +146,8 @@ def run_comparison(
         runs=runs,
         hardware_capacity_qps=hardware_capacity,
         accuracy_scaling_capacity_qps=full_capacity,
+        sweep=sweep,
+        seeds=seeds,
     )
 
 
@@ -137,6 +173,11 @@ def print_comparison(result: ComparisonResult, figure: str, paper_claims: str) -
             rows,
         )
     )
+    if len(result.seeds) > 1:
+        violation_stats = result.aggregate("slo_violation_ratio")
+        print(f"\nacross {len(result.seeds)} seeds (slo_violation mean±ci95):")
+        for system, stats in violation_stats.items():
+            print(f"  {system}: {stats.mean:.4f}±{stats.ci95_half_width:.4f}")
     print(
         f"\nhardware-scaling capacity: {result.hardware_capacity_qps:.0f} QPS"
         f"\naccuracy-scaling capacity: {result.accuracy_scaling_capacity_qps:.0f} QPS"

@@ -17,13 +17,14 @@ exactly the information plotted in Figure 1.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.allocation import ACCURACY_SCALING, AllocationProblem, HARDWARE_SCALING
 from repro.core.pipeline import Pipeline
 from repro.experiments.common import format_table
+from repro.scenarios import SweepRunner
 from repro.zoo import traffic_analysis_pipeline
 
 __all__ = ["PhasePoint", "Fig1Result", "run", "main"]
@@ -89,14 +90,46 @@ def _classify_phase(mode: str, task_accuracy: Dict[str, float], pipeline: Pipeli
     return 3
 
 
+def _solve_point(args: Tuple[Pipeline, int, float, float, float]) -> PhasePoint:
+    """One demand level of the sweep (top-level so SweepRunner.map can pickle it)."""
+    pipeline, num_workers, slo_ms, utilization_target, demand = args
+    problem = AllocationProblem(
+        pipeline,
+        num_workers=num_workers,
+        latency_slo_ms=slo_ms,
+        utilization_target=utilization_target,
+    )
+    plan = problem.solve(float(demand))
+    task_accuracy = _task_accuracies(plan, pipeline)
+    phase = _classify_phase(plan.mode, task_accuracy, pipeline)
+    if not plan.feasible:
+        phase = 3
+    return PhasePoint(
+        demand_qps=float(demand),
+        mode=plan.mode,
+        feasible=plan.feasible,
+        workers=plan.total_workers,
+        system_accuracy=plan.expected_accuracy,
+        task_accuracy=task_accuracy,
+        phase=phase,
+    )
+
+
 def run(
     pipeline: Optional[Pipeline] = None,
     num_workers: int = 20,
     slo_ms: float = 250.0,
     num_points: int = 15,
     utilization_target: float = 0.75,
+    sweep_runner: Optional[SweepRunner] = None,
 ) -> Fig1Result:
-    """Sweep demand from near zero to the cluster's maximum supportable QPS."""
+    """Sweep demand from near zero to the cluster's maximum supportable QPS.
+
+    Every demand point is an independent MILP solve, so the sweep fans them
+    across processes through :meth:`SweepRunner.map`; each point builds its
+    own :class:`AllocationProblem`, which keeps the serial and parallel paths
+    bit-identical (no shared warm-start or cache state across points).
+    """
     pipeline = pipeline or traffic_analysis_pipeline(latency_slo_ms=slo_ms)
     problem = AllocationProblem(
         pipeline,
@@ -117,30 +150,20 @@ def run(
         )
     )
 
-    points: List[PhasePoint] = []
+    runner = sweep_runner or SweepRunner()
+    points = runner.map(
+        _solve_point,
+        [(pipeline, num_workers, slo_ms, utilization_target, float(demand)) for demand in demands],
+    )
+
     max_accuracy = pipeline.max_end_to_end_accuracy()
     phase2_capacity = hardware_capacity
     phase2_accuracy = max_accuracy
-    for demand in demands:
-        plan = problem.solve(float(demand))
-        task_accuracy = _task_accuracies(plan, pipeline)
-        phase = _classify_phase(plan.mode, task_accuracy, pipeline)
-        if not plan.feasible:
-            phase = 3
-        points.append(
-            PhasePoint(
-                demand_qps=float(demand),
-                mode=plan.mode,
-                feasible=plan.feasible,
-                workers=plan.total_workers,
-                system_accuracy=plan.expected_accuracy,
-                task_accuracy=task_accuracy,
-                phase=phase,
-            )
-        )
-        if phase <= 2 and plan.feasible:
-            phase2_capacity = max(phase2_capacity, float(demand))
-            phase2_accuracy = plan.expected_accuracy
+    for point in points:
+        if point.phase <= 2 and point.feasible:
+            if point.demand_qps >= phase2_capacity:
+                phase2_capacity = point.demand_qps
+                phase2_accuracy = point.system_accuracy
 
     min_feasible_accuracy = min((p.system_accuracy for p in points if p.feasible), default=max_accuracy)
     return Fig1Result(

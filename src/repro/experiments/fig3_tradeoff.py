@@ -6,6 +6,10 @@ the same numbers out of the synthetic model zoo: for every variant we report
 its raw accuracy and its throughput at a reference batch size.  The shape to
 verify is a monotone trade-off -- more accurate variants sustain lower
 throughput -- which is the lever accuracy scaling pulls.
+
+This is the one figure with no simulation or solve in it (a pure profile
+read-out), so unlike the other harnesses it does not go through the
+scenario/sweep substrate.
 """
 
 from __future__ import annotations

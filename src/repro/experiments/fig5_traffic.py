@@ -33,6 +33,7 @@ def run(
     num_workers: int = 20,
     slo_ms: float = 250.0,
     seed: int = 0,
+    seeds=None,
     peak_over_hardware: float = 2.5,
     trough_fraction: float = 0.12,
     trace_seed: int = 7,
@@ -42,7 +43,8 @@ def run(
     The trace peak is scaled to ``peak_over_hardware`` times the hardware
     scaling capacity, matching the paper: the peak is beyond what InferLine
     can serve, while the trough stays below it so Loki's hardware-scaling
-    phase (and its server savings) are visible.
+    phase (and its server savings) are visible.  ``seeds`` replays every
+    system under several seeds in parallel (see ``run_comparison``).
     """
     pipeline = traffic_analysis_pipeline(latency_slo_ms=slo_ms)
     trace = azure_like_trace(duration_s=duration_s, peak_qps=1.0, trough_fraction=trough_fraction, seed=trace_seed)
@@ -52,6 +54,7 @@ def run(
         num_workers=num_workers,
         slo_ms=slo_ms,
         seed=seed,
+        seeds=seeds,
         peak_over_hardware=peak_over_hardware,
     )
 

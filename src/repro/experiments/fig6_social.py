@@ -23,6 +23,7 @@ def run(
     num_workers: int = 20,
     slo_ms: float = 250.0,
     seed: int = 0,
+    seeds=None,
     peak_over_hardware: float = 2.7,
     trough_fraction: float = 0.15,
     trace_seed: int = 11,
@@ -37,6 +38,7 @@ def run(
         num_workers=num_workers,
         slo_ms=slo_ms,
         seed=seed,
+        seeds=seeds,
         peak_over_hardware=peak_over_hardware,
     )
 

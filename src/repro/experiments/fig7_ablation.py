@@ -18,7 +18,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.dropping import POLICY_NAMES
-from repro.experiments.common import format_table, run_system
+from repro.experiments.common import format_table, scenario_for_system
+from repro.scenarios import SweepRunner
 from repro.workloads import twitter_like_trace, scale_trace_to_capacity
 from repro.core.allocation import AllocationProblem
 from repro.zoo import traffic_analysis_pipeline
@@ -53,6 +54,7 @@ def run(
     seed: int = 3,
     peak_over_hardware: float = 2.5,
     policies: Optional[List[str]] = None,
+    sweep_runner: Optional[SweepRunner] = None,
 ) -> Fig7Result:
     """Run Loki with each early-dropping policy on the same bursty workload.
 
@@ -60,7 +62,7 @@ def run(
     capacity: enough load that requests regularly fall behind their per-task
     budgets (so the policies differ), but within what accuracy scaling can
     serve (so the differences are attributable to the Load Balancer, not to
-    outright overload).
+    outright overload).  Each policy is one scenario of a parallel sweep.
     """
     policies = policies or ABLATION_ORDER
     unknown = set(policies) - set(POLICY_NAMES)
@@ -75,21 +77,25 @@ def run(
         peak_fraction=peak_over_hardware,
     )
 
-    violation_ratio: Dict[str, float] = {}
-    accuracy: Dict[str, float] = {}
-    dropped: Dict[str, int] = {}
-    late: Dict[str, int] = {}
-    for policy in policies:
-        run_result = run_system(
+    specs = [
+        scenario_for_system(
             "loki",
             pipeline,
             trace,
             num_workers=num_workers,
             slo_ms=slo_ms,
-            seed=seed,
             drop_policy=policy,
-        )
-        summary = run_result.summary
+        ).with_overrides(name=policy)
+        for policy in policies
+    ]
+    sweep = (sweep_runner or SweepRunner()).run(specs, seeds=[seed])
+
+    violation_ratio: Dict[str, float] = {}
+    accuracy: Dict[str, float] = {}
+    dropped: Dict[str, int] = {}
+    late: Dict[str, int] = {}
+    for policy in policies:
+        summary = sweep.record(policy, seed).summary
         violation_ratio[policy] = summary.slo_violation_ratio
         accuracy[policy] = summary.mean_accuracy
         dropped[policy] = summary.dropped_requests

@@ -15,7 +15,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.allocation import AllocationProblem
-from repro.experiments.common import format_table, run_system
+from repro.experiments.common import format_table, scenario_for_system
+from repro.scenarios import SweepRunner
 from repro.workloads import azure_like_trace, scale_trace_to_capacity
 from repro.zoo import traffic_analysis_pipeline
 
@@ -59,13 +60,15 @@ def run(
     seed: int = 5,
     peak_over_hardware: float = 2.2,
     reference_slo_ms: float = 250.0,
+    sweep_runner: Optional[SweepRunner] = None,
 ) -> Fig8Result:
     """Run Loki under each SLO on one shared trace.
 
     As in the paper, the *same* workload is replayed for every SLO value: the
     trace peak is scaled to ``peak_over_hardware`` times the hardware-scaling
     capacity measured at ``reference_slo_ms``, so tighter SLOs face the same
-    demand with less latency headroom.
+    demand with less latency headroom.  Every feasible SLO point is one
+    scenario of a parallel sweep.
     """
     reference_pipeline = traffic_analysis_pipeline(latency_slo_ms=reference_slo_ms)
     reference_problem = AllocationProblem(reference_pipeline, num_workers=num_workers, latency_slo_ms=reference_slo_ms)
@@ -76,18 +79,30 @@ def run(
         peak_fraction=peak_over_hardware,
     )
 
-    points: List[SloPoint] = []
+    specs = []
+    infeasible: Dict[float, SloPoint] = {}
     for slo in slos_ms:
         pipeline = traffic_analysis_pipeline(latency_slo_ms=slo)
         problem = AllocationProblem(pipeline, num_workers=num_workers, latency_slo_ms=slo)
         capacity = problem.max_supported_demand().max_demand_qps
         if capacity <= 0:
-            points.append(
-                SloPoint(slo_ms=slo, mean_accuracy=0.0, max_accuracy_drop=1.0, slo_violation_ratio=1.0, mean_workers=0.0)
+            infeasible[slo] = SloPoint(
+                slo_ms=slo, mean_accuracy=0.0, max_accuracy_drop=1.0, slo_violation_ratio=1.0, mean_workers=0.0
             )
             continue
-        result = run_system("loki", pipeline, trace, num_workers=num_workers, slo_ms=slo, seed=seed)
-        summary = result.summary
+        specs.append(
+            scenario_for_system(
+                "loki", pipeline, trace, num_workers=num_workers, slo_ms=slo
+            ).with_overrides(name=f"slo_{slo:g}ms")
+        )
+    sweep = (sweep_runner or SweepRunner()).run(specs, seeds=[seed]) if specs else None
+
+    points: List[SloPoint] = []
+    for slo in slos_ms:
+        if slo in infeasible:
+            points.append(infeasible[slo])
+            continue
+        summary = sweep.record(f"slo_{slo:g}ms", seed).summary
         points.append(
             SloPoint(
                 slo_ms=slo,

@@ -16,11 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.core import Controller, ControllerConfig
+from repro.core import ControllerConfig
 from repro.experiments.common import format_table
-from repro.simulator import ServingSimulation, SimulationConfig
-from repro.workloads import constant_trace
-from repro.zoo import traffic_analysis_pipeline
+from repro.scenarios import get_scenario
 
 __all__ = ["ValidationPoint", "ValidationResult", "run", "main"]
 
@@ -69,22 +67,33 @@ def run(
     slo_ms: float = 250.0,
     seed: int = 2,
 ) -> ValidationResult:
-    """Compare plan predictions and simulator measurements at several steady demands."""
+    """Compare plan predictions and simulator measurements at several steady demands.
+
+    Each demand level is the registered ``validation_uniform`` scenario with
+    the demand (and sizing) overridden; the runs stay in-process because the
+    comparison needs the controller's final plan, not just the summary.
+    """
+    base = get_scenario("validation_uniform")
     points: List[ValidationPoint] = []
     for demand in demands_qps:
-        pipeline = traffic_analysis_pipeline(latency_slo_ms=slo_ms)
-        controller = Controller(pipeline, ControllerConfig(num_workers=num_workers, latency_slo_ms=slo_ms))
-        trace = constant_trace(demand, duration_s)
-        config = SimulationConfig(
+        spec = base.with_overrides(
+            name=f"validation_{demand:g}qps",
             num_workers=num_workers,
-            latency_slo_ms=slo_ms,
-            seed=seed,
-            arrival_process="uniform",
-            content_mode="expected",
-            network_jitter_ms=0.0,
+            slo_ms=slo_ms,
+            trace_params={"qps": float(demand), "duration_s": duration_s},
+            # The validation controller runs with the paper defaults (no
+            # compressed-trace compensation): predictions are compared against
+            # the plan itself, so the vanilla provisioning policy applies.
+            # Read from ControllerConfig so they can never drift from it.
+            control_overrides={
+                "headroom": ControllerConfig.headroom,
+                "reallocation_threshold": ControllerConfig.reallocation_threshold,
+                "demand_quantum_qps": ControllerConfig.demand_quantum_qps,
+            },
         )
-        simulation = ServingSimulation(pipeline, controller, trace, config)
+        simulation = spec.build(seed)
         summary = simulation.run()
+        controller = simulation.control_plane
         plan = controller.current_plan
         points.append(
             ValidationPoint(

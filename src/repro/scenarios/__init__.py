@@ -1,0 +1,47 @@
+"""Scenario substrate: declarative simulation situations plus a parallel sweep runner.
+
+* :mod:`repro.scenarios.spec` -- :class:`ScenarioSpec` composes trace x
+  pipeline x arrival process x content model x drop policy x fault injection
+  into one picklable value.
+* :mod:`repro.scenarios.registry` -- run any registered scenario by name.
+* :mod:`repro.scenarios.builtin` -- the built-in catalogue (diurnal, MMPP,
+  flash crowd, worker failure, demand surge, validation, smoke, ...).
+* :mod:`repro.scenarios.faults` -- scripted disturbances (worker
+  failure/recovery, demand surges).
+* :mod:`repro.scenarios.sweep` -- :class:`SweepRunner` fans scenario x seed
+  grids across processes and aggregates summaries with confidence intervals.
+"""
+
+from repro.scenarios.faults import FaultSpec, apply_trace_faults, schedule_runtime_faults
+from repro.scenarios.spec import (
+    SYSTEM_FACTORIES,
+    TRACE_FACTORIES,
+    ScenarioSpec,
+    make_inferline,
+    make_loki,
+    make_proteus,
+)
+from repro.scenarios.registry import get_scenario, iter_scenarios, register, resolve, scenario_names
+from repro.scenarios.sweep import MetricStats, RunRecord, SweepResult, SweepRunner
+from repro.scenarios import builtin as _builtin  # noqa: F401  (registers the catalogue)
+
+__all__ = [
+    "ScenarioSpec",
+    "FaultSpec",
+    "SYSTEM_FACTORIES",
+    "TRACE_FACTORIES",
+    "make_loki",
+    "make_inferline",
+    "make_proteus",
+    "apply_trace_faults",
+    "schedule_runtime_faults",
+    "register",
+    "get_scenario",
+    "scenario_names",
+    "iter_scenarios",
+    "resolve",
+    "SweepRunner",
+    "SweepResult",
+    "RunRecord",
+    "MetricStats",
+]

@@ -1,0 +1,118 @@
+"""Built-in scenario catalogue.
+
+Every entry composes trace x pipeline x arrival process x content model x
+drop policy x fault injection into one registry name.  All of them accept
+seed/duration overrides through :meth:`ScenarioSpec.with_overrides` (the
+sweep CLI exposes ``--duration-s`` for exactly that), so the catalogue doubles
+as both the experiment vocabulary and the CI smoke matrix.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.faults import FaultSpec
+from repro.scenarios.registry import register
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["BUILTIN_SCENARIOS"]
+
+
+BUILTIN_SCENARIOS = [
+    ScenarioSpec(
+        name="traffic_azure",
+        description="Reference Fig.5 setup: traffic-analysis pipeline on the Azure-like diurnal trace, "
+        "peak at 2.5x the hardware-scaling capacity.",
+        pipeline="traffic_analysis",
+        trace="azure_like",
+        trace_params={"duration_s": 120, "peak_qps": 1.0, "trough_fraction": 0.12, "seed": 7},
+        peak_over_hardware=2.5,
+    ),
+    ScenarioSpec(
+        name="traffic_azure_mmpp",
+        description="Azure-like demand with two-state MMPP (bursty) arrivals instead of Poisson.",
+        pipeline="traffic_analysis",
+        trace="azure_like",
+        trace_params={"duration_s": 120, "peak_qps": 1.0, "trough_fraction": 0.12, "seed": 7},
+        peak_over_hardware=2.2,
+        arrival_process="mmpp",
+        arrival_params={"burst_intensity": 3.0, "p_enter_burst": 0.1, "p_exit_burst": 0.3},
+    ),
+    ScenarioSpec(
+        name="traffic_flash_crowd",
+        description="Steady demand hit by a mid-run flash-crowd spike (4x for 10s).",
+        pipeline="traffic_analysis",
+        trace="constant",
+        trace_params={"qps": 1.0, "duration_s": 120},
+        peak_over_hardware=0.8,
+        arrival_process="flash_crowd",
+        arrival_params={"magnitude": 4.0, "spike_duration_s": 10.0},
+    ),
+    ScenarioSpec(
+        name="traffic_diurnal",
+        description="Steady trace with fast sinusoidal day/night modulation at the arrival process.",
+        pipeline="traffic_analysis",
+        trace="constant",
+        trace_params={"qps": 1.0, "duration_s": 120},
+        peak_over_hardware=1.2,
+        arrival_process="diurnal",
+        arrival_params={"amplitude": 0.6, "period_s": 40.0},
+    ),
+    ScenarioSpec(
+        name="traffic_worker_failure",
+        description="A quarter of the fleet hard-fails mid-run and recovers 20s later.",
+        pipeline="traffic_analysis",
+        trace="constant",
+        trace_params={"qps": 1.0, "duration_s": 120},
+        peak_over_hardware=0.9,
+        faults=(FaultSpec(kind="worker_failure", at_s=40.0, duration_s=20.0, count=5),),
+    ),
+    ScenarioSpec(
+        name="traffic_demand_surge",
+        description="Demand doubles for 20 seconds mid-run (trace-level surge fault).",
+        pipeline="traffic_analysis",
+        trace="constant",
+        trace_params={"qps": 1.0, "duration_s": 120},
+        peak_over_hardware=1.0,
+        faults=(FaultSpec(kind="demand_surge", at_s=50.0, duration_s=20.0, magnitude=2.0),),
+    ),
+    ScenarioSpec(
+        name="social_twitter_bursty",
+        description="Fig.6 setup: social-media pipeline on the bursty Twitter-like trace.",
+        pipeline="social_media",
+        trace="twitter_like",
+        trace_params={"duration_s": 120, "peak_qps": 1.0, "trough_fraction": 0.15, "seed": 11},
+        peak_over_hardware=2.7,
+    ),
+    ScenarioSpec(
+        name="validation_uniform",
+        description="Variance-minimised validation run: evenly spaced arrivals, expected-value "
+        "content model, jitter-free network.",
+        pipeline="traffic_analysis",
+        trace="constant",
+        trace_params={"qps": 150.0, "duration_s": 30},
+        arrival_process="uniform",
+        content_mode="expected",
+        sim_overrides={"network_jitter_ms": 0.0},
+    ),
+    ScenarioSpec(
+        name="smoke",
+        description="Tiny single-task run for CI smoke sweeps and unit tests (~1s wall clock).",
+        pipeline="single_task",
+        num_workers=6,
+        slo_ms=150.0,
+        trace="constant",
+        trace_params={"qps": 30.0, "duration_s": 10},
+    ),
+    ScenarioSpec(
+        name="smoke_failure",
+        description="Tiny run with a one-worker failure/recovery, for CI smoke sweeps.",
+        pipeline="single_task",
+        num_workers=6,
+        slo_ms=150.0,
+        trace="constant",
+        trace_params={"qps": 30.0, "duration_s": 10},
+        faults=(FaultSpec(kind="worker_failure", at_s=4.0, duration_s=3.0, count=1),),
+    ),
+]
+
+for _spec in BUILTIN_SCENARIOS:
+    register(_spec)

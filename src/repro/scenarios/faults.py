@@ -1,0 +1,120 @@
+"""Fault injection: scripted disturbances a scenario applies to a run.
+
+Two classes of fault exist:
+
+* **Trace faults** reshape the demand trace before the simulation is built
+  (``demand_surge``: the incoming rate is multiplied over a window -- a
+  mid-run demand shock the control plane has to absorb).
+* **Runtime faults** schedule events into the simulation calendar
+  (``worker_failure``: physical workers hard-fail at a given time, losing
+  their queues and in-flight batches, and recover after ``duration_s``;
+  routed queries are dropped until the control plane's next plans re-pack the
+  shrunken fleet).
+
+Faults are plain dataclasses so scenario specs stay picklable for the
+process-parallel sweep runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from repro.simulator.events import CallbackEvent
+from repro.workloads.traces import Trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulator.runner import ServingSimulation
+
+__all__ = ["FaultSpec", "apply_trace_faults", "schedule_runtime_faults", "FAULT_KINDS"]
+
+FAULT_KINDS = ("worker_failure", "demand_surge")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scripted disturbance.
+
+    ``kind``:
+      * ``"worker_failure"`` -- ``count`` workers hard-fail at ``at_s`` and
+        recover at ``at_s + duration_s`` (``duration_s <= 0``: no recovery).
+      * ``"demand_surge"`` -- the trace rate is multiplied by ``magnitude``
+        over ``[at_s, at_s + duration_s)``.
+    """
+
+    kind: str
+    at_s: float
+    duration_s: float = 10.0
+    count: int = 1
+    magnitude: float = 2.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; available: {FAULT_KINDS}")
+        if self.at_s < 0:
+            raise ValueError("fault time cannot be negative")
+        if self.kind == "worker_failure" and self.count < 1:
+            raise ValueError("worker_failure needs count >= 1")
+        if self.kind == "demand_surge" and self.magnitude <= 0:
+            raise ValueError("demand_surge needs a positive magnitude")
+
+
+def apply_trace_faults(trace: Trace, faults: Sequence[FaultSpec]) -> Trace:
+    """Apply all demand-shaping faults to the trace (no-op without any)."""
+    surges = [f for f in faults if f.kind == "demand_surge"]
+    if not surges:
+        return trace
+    qps = np.array(trace.qps, dtype=float, copy=True)
+    for fault in surges:
+        start = int(fault.at_s)
+        end = min(trace.duration_s, int(np.ceil(fault.at_s + fault.duration_s)))
+        qps[start:end] *= fault.magnitude
+    return Trace(f"{trace.name}+surge", qps)
+
+
+def _fail_workers(sim: "ServingSimulation", count: int) -> list:
+    """Fail ``count`` workers, preferring currently active ones (deterministic order)."""
+    cluster = sim.cluster
+    candidates = [w for w in cluster.workers if w.active and not w.failed]
+    candidates += [w for w in cluster.workers if not w.active and not w.failed]
+    victims = candidates[:count]
+    for worker in victims:
+        cluster.fail_worker(worker.physical_id)
+    return victims
+
+
+def _rehost(sim: "ServingSimulation") -> None:
+    """Re-apply the current plan so unhosted logical workers find new homes.
+
+    The control plane only publishes a new plan when demand moves, so after a
+    failure (fail over onto spare workers, paying their model-load time) and
+    after a recovery (re-host what is still unhosted) the fleet mapping must
+    be refreshed explicitly.
+    """
+    if sim.current_plan is not None:
+        sim.cluster.apply_plan(sim.current_plan, sim.pipeline, sim.engine.now_s)
+
+
+def schedule_runtime_faults(sim: "ServingSimulation", faults: Sequence[FaultSpec]) -> None:
+    """Schedule every runtime fault of the scenario into the simulation calendar."""
+    for fault in faults:
+        if fault.kind != "worker_failure":
+            continue
+
+        def recover(ids) -> None:
+            for pid in ids:
+                sim.cluster.recover_worker(pid)
+            _rehost(sim)
+
+        def fail(f: FaultSpec = fault) -> None:
+            victims = _fail_workers(sim, f.count)
+            _rehost(sim)
+            if f.duration_s > 0 and victims:
+                ids = [w.physical_id for w in victims]
+                sim.engine.schedule_event(
+                    CallbackEvent(sim.engine.now_s + f.duration_s, lambda: recover(ids))
+                )
+
+        sim.engine.schedule_event(CallbackEvent(fault.at_s, fail))

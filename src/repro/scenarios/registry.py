@@ -1,0 +1,50 @@
+"""The scenario registry: run any registered situation by name.
+
+``register`` adds a :class:`ScenarioSpec` under its ``name``;
+``get_scenario`` / ``scenario_names`` are the lookup surface used by the
+sweep runner, the CLI (``scripts/run_sweep.py``) and the tests.  The built-in
+scenario catalogue in :mod:`repro.scenarios.builtin` is registered on package
+import.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Union
+
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["register", "get_scenario", "scenario_names", "iter_scenarios", "resolve"]
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register(spec: ScenarioSpec, overwrite: bool = False) -> ScenarioSpec:
+    """Add a scenario to the registry (returns it for chaining)."""
+    if spec.name in _REGISTRY and not overwrite:
+        raise ValueError(f"scenario {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look a scenario up by name."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown scenario {name!r}; available: {sorted(_REGISTRY)}")
+    return _REGISTRY[name]
+
+
+def scenario_names() -> List[str]:
+    """Sorted names of every registered scenario."""
+    return sorted(_REGISTRY)
+
+
+def iter_scenarios() -> Iterable[ScenarioSpec]:
+    """All registered scenarios in name order."""
+    return (_REGISTRY[name] for name in scenario_names())
+
+
+def resolve(scenario: Union[str, ScenarioSpec]) -> ScenarioSpec:
+    """Accept either a registry name or an explicit spec."""
+    if isinstance(scenario, ScenarioSpec):
+        return scenario
+    return get_scenario(scenario)

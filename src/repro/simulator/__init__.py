@@ -22,7 +22,17 @@ two agree to within ~2%.  This package is that simulator, built from scratch:
 """
 
 from repro.simulator.engine import SimulationEngine
-from repro.simulator.events import Event, EventQueue
+from repro.simulator.events import (
+    ArrivalEvent,
+    BatchCompleteEvent,
+    CallbackEvent,
+    ControlTickEvent,
+    DeliveryEvent,
+    Event,
+    EventQueue,
+    ModelReadyEvent,
+    SwapCompleteEvent,
+)
 from repro.simulator.query import Request, IntermediateQuery, RequestStatus
 from repro.simulator.network import NetworkModel
 from repro.simulator.metrics import IntervalMetrics, MetricsCollector, SimulationSummary
@@ -34,6 +44,13 @@ from repro.simulator.runner import ServingSimulation, SimulationConfig
 __all__ = [
     "SimulationEngine",
     "Event",
+    "CallbackEvent",
+    "ArrivalEvent",
+    "DeliveryEvent",
+    "BatchCompleteEvent",
+    "ModelReadyEvent",
+    "SwapCompleteEvent",
+    "ControlTickEvent",
     "EventQueue",
     "Request",
     "IntermediateQuery",

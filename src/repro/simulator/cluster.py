@@ -37,6 +37,10 @@ class Cluster:
         self.logical_map: Dict[str, SimWorker] = {}
         self.plan_applications = 0
         self.model_loads = 0
+        self.fault_events = 0
+        #: logical plan workers the last plan wanted but no healthy physical
+        #: worker could host (non-zero only while failures shrink the fleet)
+        self.unhosted_logical = 0
 
     # -- plan application -------------------------------------------------------
     def apply_plan(self, plan: AllocationPlan, pipeline: Pipeline, now_s: float) -> List[WorkerState]:
@@ -56,11 +60,11 @@ class Cluster:
         new_map: Dict[str, SimWorker] = {}
         used_physical = set()
         for logical_id, worker in self.logical_map.items():
-            if logical_id in desired:
+            if logical_id in desired and not worker.failed:
                 new_map[logical_id] = worker
                 used_physical.add(worker.physical_id)
 
-        free_workers = [w for w in self.workers if w.physical_id not in used_physical]
+        free_workers = [w for w in self.workers if w.physical_id not in used_physical and not w.failed]
         unassigned = [w for w in logical_workers if w.worker_id not in new_map]
 
         # Prefer physical workers already hosting the same variant (no reload).
@@ -98,13 +102,36 @@ class Cluster:
         # Deactivate physical workers not referenced by the new plan.
         referenced = {w.physical_id for w in new_map.values()}
         for worker in self.workers:
-            if worker.physical_id not in referenced:
+            if worker.physical_id not in referenced and not worker.failed:
                 worker.assign(None, now_s)
 
         self.logical_map = new_map
         self.plan_applications += 1
         self.model_loads += newly_loaded
+        # Failures can leave the plan partially hosted: queries routed to the
+        # unhosted logical workers are dropped (and show up as SLO violations)
+        # until the fleet recovers or the control plane shrinks the plan.
+        self.unhosted_logical = len(logical_workers) - len(new_map)
         return logical_workers
+
+    # -- fault injection --------------------------------------------------------
+    def fail_worker(self, physical_id: str) -> SimWorker:
+        """Hard-fail one physical worker (fault injection)."""
+        worker = next(w for w in self.workers if w.physical_id == physical_id)
+        worker.fail()
+        self.logical_map = {lid: w for lid, w in self.logical_map.items() if w is not worker}
+        self.fault_events += 1
+        return worker
+
+    def recover_worker(self, physical_id: str) -> SimWorker:
+        """Recover a previously failed worker; the next plan can reuse it."""
+        worker = next(w for w in self.workers if w.physical_id == physical_id)
+        worker.recover()
+        return worker
+
+    @property
+    def failed_workers(self) -> int:
+        return sum(1 for w in self.workers if w.failed)
 
     # -- queries ------------------------------------------------------------------
     def resolve(self, logical_id: str) -> Optional[SimWorker]:

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from heapq import heappop, heappush
+from typing import Callable, Iterable, Optional
 
-from repro.simulator.events import Event, EventQueue
+from repro.simulator.events import CallbackEvent, Event, EventQueue
 
 __all__ = ["SimulationEngine"]
 
@@ -13,9 +14,12 @@ class SimulationEngine:
     """Owns the simulation clock and the event calendar.
 
     Components schedule work through :meth:`schedule` / :meth:`schedule_in`
-    and the engine advances the clock to each event in turn until the calendar
-    is empty or the configured horizon is reached.
+    (ad-hoc callbacks) or :meth:`schedule_event` / :meth:`preload` (typed
+    events), and the engine advances the clock to each event in turn until the
+    calendar is empty or the configured horizon is reached.
     """
+
+    __slots__ = ("queue", "now_s", "events_processed")
 
     def __init__(self):
         self.queue = EventQueue()
@@ -27,7 +31,7 @@ class SimulationEngine:
         """Schedule ``action`` at absolute simulation time ``time_s``."""
         if time_s < self.now_s - 1e-12:
             raise ValueError(f"cannot schedule in the past ({time_s} < {self.now_s})")
-        return self.queue.schedule(max(time_s, self.now_s), action)
+        return self.queue.push(CallbackEvent(max(time_s, self.now_s), action))
 
     def schedule_in(self, delay_s: float, action: Callable[[], None]) -> Event:
         """Schedule ``action`` ``delay_s`` seconds from the current time."""
@@ -35,28 +39,98 @@ class SimulationEngine:
             raise ValueError("delay cannot be negative")
         return self.schedule(self.now_s + delay_s, action)
 
+    def schedule_event(self, event: Event) -> Event:
+        """Schedule a pre-constructed typed event at its own ``time_s``.
+
+        This is the mid-run hot path (every delivery, batch completion, model
+        load and swap goes through it), so the queue push is inlined: after
+        clamping to ``now_s`` the time is guaranteed non-negative and the
+        generic negative-time validation would be redundant.
+        """
+        time_s = event.time_s
+        now = self.now_s
+        if time_s < now:
+            if time_s < now - 1e-12:
+                raise ValueError(f"cannot schedule in the past ({time_s} < {now})")
+            event.time_s = time_s = now
+        queue = self.queue
+        event._queue = queue
+        queue._seq = seq = queue._seq + 1
+        queue._live += 1
+        heappush(queue._heap, (time_s, seq, event))
+        return event
+
+    def preload(self, events: Iterable[Event]) -> None:
+        """Bulk-load many future events in one heapify (vectorized workloads)."""
+        self.queue.extend(events)
+
     # -- running -------------------------------------------------------------
     def run(self, until_s: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Process events until the horizon, event budget or calendar end.
 
+        When ``until_s`` is given it is the authoritative stop time: the clock
+        lands exactly on the horizon whether the calendar drains early or
+        events remain beyond it.  Only an exhausted ``max_events`` budget
+        leaves the clock at the last processed event (the run is mid-flight
+        and expected to be resumed).
+
         Returns the simulation time at which the loop stopped.
         """
+        # Hot loop: operate on the queue internals directly (no per-event
+        # peek/pop calls), hoist the horizon into one float compare, and batch
+        # the counter updates.  The live count is maintained by order-
+        # independent deltas (push +1, cancel -1, processed pop -1), so
+        # applying the processed pops once at loop exit is exact; nothing
+        # observes the queue length mid-run.
+        queue = self.queue
+        heap = queue._heap
+        pop = heappop
+        horizon = float("inf") if until_s is None else until_s
         processed = 0
-        while True:
-            next_time = self.queue.peek_time()
-            if next_time is None:
-                break
-            if until_s is not None and next_time > until_s:
-                self.now_s = until_s
-                break
-            event = self.queue.pop()
-            assert event is not None
-            self.now_s = event.time_s
-            event.action()
-            self.events_processed += 1
-            processed += 1
-            if max_events is not None and processed >= max_events:
-                break
+        budget_exhausted = False
+        try:
+            if max_events is None:
+                # Specialized loop for the common unbudgeted run: one float
+                # compare and one attribute store less per event.
+                while heap:
+                    entry = pop(heap)
+                    time_s, _, event = entry
+                    if event.cancelled:
+                        continue
+                    if time_s > horizon:
+                        # Past the horizon: the event stays pending (same
+                        # entry, same sequence, so a resumed run sees
+                        # unchanged order).
+                        heappush(heap, entry)
+                        break
+                    self.now_s = time_s
+                    processed += 1  # before run(): a raising event was still popped
+                    event._queue = None  # detach: late cancel() must be a no-op
+                    event.run()
+            else:
+                budget = max_events
+                while heap:
+                    entry = pop(heap)
+                    time_s, _, event = entry
+                    if event.cancelled:
+                        continue
+                    if time_s > horizon:
+                        heappush(heap, entry)
+                        break
+                    self.now_s = time_s
+                    processed += 1  # before run(): a raising event was still popped
+                    event._queue = None  # detach: late cancel() must be a no-op
+                    event.run()
+                    if processed >= budget:
+                        budget_exhausted = True
+                        break
+        finally:
+            # Apply the batched deltas even when a callback raises, so the
+            # queue's live count stays exact for whoever catches the error.
+            queue._live -= processed
+            self.events_processed += processed
+        if until_s is not None and not budget_exhausted and until_s > self.now_s:
+            self.now_s = until_s
         return self.now_s
 
     def step(self) -> bool:
@@ -65,6 +139,6 @@ class SimulationEngine:
         if event is None:
             return False
         self.now_s = event.time_s
-        event.action()
+        event.run()
         self.events_processed += 1
         return True

@@ -19,7 +19,14 @@ __all__ = ["Frontend"]
 
 
 class Frontend:
-    """Accepts requests, routes them to root-task workers and tracks demand."""
+    """Accepts requests, routes them to root-task workers and tracks demand.
+
+    Arrivals are delivered as bulk-preloaded :class:`ArrivalEvent` objects
+    (one per client query, pre-sampled from the whole trace in a few
+    vectorized draws) whose ``run()`` calls :meth:`submit`.
+    """
+
+    __slots__ = ("sim", "slo_ms", "_next_request_id", "_window_arrivals", "total_submitted", "rejected_no_plan")
 
     def __init__(self, sim: "ServingSimulation", slo_ms: float):
         self.sim = sim

@@ -11,6 +11,7 @@ substrate as Loki.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import repeat
 from typing import Dict, List, Optional, Protocol, Tuple
 
 import numpy as np
@@ -21,12 +22,13 @@ from repro.core.load_balancer import BackupEntry, RoutingPlan, RoutingTable
 from repro.core.pipeline import Pipeline
 from repro.simulator.cluster import Cluster
 from repro.simulator.engine import SimulationEngine
+from repro.simulator.events import ArrivalEvent, CallbackEvent, ControlTickEvent, DeliveryEvent
 from repro.simulator.frontend import Frontend
 from repro.simulator.metrics import MetricsCollector, SimulationSummary
 from repro.simulator.network import NetworkModel
 from repro.simulator.query import IntermediateQuery, Request
 from repro.simulator.worker import SimWorker
-from repro.workloads.arrivals import arrivals_for_second
+from repro.workloads.arrivals import ArrivalProcess, make_arrival_process
 from repro.workloads.content import MultiplicativeContentModel
 from repro.workloads.traces import Trace
 
@@ -56,6 +58,8 @@ class SimulationConfig:
     heartbeat_interval_s: float = 5.0
     metrics_interval_s: float = 1.0
     arrival_process: str = "poisson"
+    #: constructor parameters of the arrival process (see workloads.arrivals)
+    arrival_params: Dict[str, object] = field(default_factory=dict)
     drop_policy: str = "opportunistic_rerouting"
     content_mode: str = "poisson"
     network_latency_ms: float = 2.0
@@ -81,6 +85,7 @@ class ServingSimulation:
         config: Optional[SimulationConfig] = None,
         content_model: Optional[MultiplicativeContentModel] = None,
         drop_policy: Optional[DropPolicy] = None,
+        arrival_process: Optional[ArrivalProcess] = None,
     ):
         self.pipeline = pipeline
         self.control_plane = control_plane
@@ -90,6 +95,9 @@ class ServingSimulation:
         self.rng = np.random.default_rng(self.config.seed)
         self.network = NetworkModel(self.config.network_latency_ms, self.config.network_jitter_ms)
         self.content_model = content_model or MultiplicativeContentModel(mode=self.config.content_mode)
+        self.arrival_process = arrival_process or make_arrival_process(
+            self.config.arrival_process, **self.config.arrival_params
+        )
         self.drop_policy = drop_policy or make_drop_policy(self.config.drop_policy)
         self.cluster = Cluster(self, self.config.num_workers)
         self.frontend = Frontend(self, self.config.latency_slo_ms)
@@ -113,11 +121,51 @@ class ServingSimulation:
     def run(self) -> SimulationSummary:
         """Execute the whole trace and return the end-of-run summary."""
         self._bootstrap()
-        for second in range(self.trace.duration_s):
-            self.engine.schedule(float(second), self._make_second_tick(second))
+        self._schedule_workload()
         horizon = self.trace.duration_s + self.config.drain_s
         self.engine.run(until_s=horizon, max_events=self.config.max_events)
         return self.metrics.summary()
+
+    #: arrivals materialized into event objects per calendar load; the sampled
+    #: time array is always whole-trace (8 bytes/arrival), but the ~100-byte
+    #: Python event objects are created lazily so day-long high-rate traces
+    #: do not hold tens of millions of live events at once
+    ARRIVAL_CHUNK = 200_000
+
+    def _schedule_workload(self) -> None:
+        """Pre-sample every arrival of the trace and bulk-load the calendar.
+
+        The whole trace's arrival times come from a handful of vectorized RNG
+        draws (see :meth:`ArrivalProcess.sample_trace`); each arrival becomes
+        one ``__slots__`` :class:`ArrivalEvent` and the calendar is built with
+        a single heapify instead of one closure-scheduling call per query.
+        Traces beyond :attr:`ARRIVAL_CHUNK` arrivals are materialized in
+        windows: a refill callback at the last arrival of each window bulk-
+        loads the next one, keeping calendar memory bounded.
+        """
+        self._arrival_times = self.arrival_process.sample_trace(self.trace.qps, self.rng)
+        self._arrival_cursor = 0
+        # One control tick just before the end of every trace second.
+        self.engine.preload(
+            [ControlTickEvent(float(second + 1) - 1e-6, self) for second in range(self.trace.duration_s)]
+        )
+        self._preload_arrival_chunk()
+
+    def _preload_arrival_chunk(self) -> None:
+        start = self._arrival_cursor
+        total = self._arrival_times.shape[0]
+        if start >= total:
+            return
+        end = min(start + self.ARRIVAL_CHUNK, total)
+        self._arrival_cursor = end
+        chunk = self._arrival_times[start:end].tolist()
+        # map + repeat constructs the chunk's events with C-level iteration.
+        events = list(map(ArrivalEvent, chunk, repeat(self.frontend)))
+        if end < total:
+            # Refill at this chunk's last arrival: it is appended after that
+            # arrival, so the FIFO tie-break runs it once the chunk is spent.
+            events.append(CallbackEvent(chunk[-1], self._preload_arrival_chunk))
+        self.engine.preload(events)
 
     def _bootstrap(self) -> None:
         """Prime the control plane with the first trace second so a plan exists at t=0."""
@@ -134,15 +182,6 @@ class ServingSimulation:
         for worker in self.cluster.workers:
             worker.available_at_s = 0.0
             worker._maybe_start_batch()
-
-    def _make_second_tick(self, second: int):
-        def tick() -> None:
-            rate = float(self.trace.rate_at(second))
-            for arrival in arrivals_for_second(rate, float(second), self.rng, process=self.config.arrival_process):
-                self.engine.schedule(float(arrival), self.frontend.submit)
-            self.engine.schedule(float(second + 1) - 1e-6, self._control_tick)
-
-        return tick
 
     def _control_tick(self) -> None:
         now = self.engine.now_s
@@ -192,7 +231,7 @@ class ServingSimulation:
             return
         self.forwarded_queries += 1
         delay = self.network.sample_delay_s(self.rng)
-        self.engine.schedule_in(delay, lambda: worker.enqueue(query))
+        self.engine.schedule_event(DeliveryEvent(self.engine.now_s + delay, worker, query))
 
     def notify_sink(self, query: IntermediateQuery) -> None:
         """A query finished the last task of its path; return the result to the Frontend."""

@@ -10,6 +10,11 @@ configured early-dropping policy and routing tables (Section 5).
 
 Workers also record the multiplicative factors they observe and report them to
 the Controller through heartbeats, closing the estimation loop of Section 4.2.
+
+All worker activity is driven by typed events (:class:`ModelReadyEvent`,
+:class:`SwapCompleteEvent`, :class:`BatchCompleteEvent`) rather than closures;
+pending swap and in-flight batch events are tracked so reassignments and fault
+injection can cancel them.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from typing import Deque, List, Optional, TYPE_CHECKING
 
 from repro.core.dropping import DropAction
 from repro.core.profiles import ModelVariant
+from repro.simulator.events import BatchCompleteEvent, ModelReadyEvent, SwapCompleteEvent
 from repro.simulator.query import IntermediateQuery
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
@@ -58,11 +64,14 @@ class SimWorker:
         "busy",
         "available_at_s",
         "active",
+        "failed",
         "processed_queries",
         "processed_batches",
         "busy_time_s",
         "factor_observation_sum",
         "factor_observation_count",
+        "_pending_swap_event",
+        "_batch_event",
     )
 
     def __init__(self, physical_id: str, sim: "ServingSimulation"):
@@ -77,13 +86,25 @@ class SimWorker:
         #: time at which the currently loading model becomes available
         self.available_at_s = 0.0
         self.active = False
+        #: fault-injected hard failure; the worker serves nothing until recovered
+        self.failed = False
         self.processed_queries = 0
         self.processed_batches = 0
         self.busy_time_s = 0.0
         self.factor_observation_sum = 0.0
         self.factor_observation_count = 0
+        #: live SwapCompleteEvent for the pending assignment (cancelled when a
+        #: newer reassignment supersedes it)
+        self._pending_swap_event: Optional[SwapCompleteEvent] = None
+        #: live BatchCompleteEvent for the batch currently executing
+        self._batch_event: Optional[BatchCompleteEvent] = None
 
     # -- assignment ------------------------------------------------------------
+    def _cancel_pending_swap(self) -> None:
+        if self._pending_swap_event is not None:
+            self._pending_swap_event.cancel()
+            self._pending_swap_event = None
+
     def assign(self, assignment: Optional[WorkerAssignment], now_s: float) -> None:
         """Apply a (possibly new) assignment.
 
@@ -94,10 +115,13 @@ class SimWorker:
         offline for the load and any queued queries of the old task are
         dropped (they can no longer be served here).
         """
+        if self.failed:
+            return
         if assignment is None:
             # Deactivated: drain the existing queue with the current model, then idle.
             self.active = False
             self.pending_assignment = None
+            self._cancel_pending_swap()
             return
         self.active = True
         old = self.assignment
@@ -105,32 +129,38 @@ class SimWorker:
             # Cold start: the model must be loaded before the first batch.
             self.assignment = assignment
             self.available_at_s = now_s + assignment.variant.load_time_ms / 1000.0
-            self.sim.engine.schedule(self.available_at_s, self._maybe_start_batch)
+            self.sim.engine.schedule_event(ModelReadyEvent(self.available_at_s, self))
             return
         if old.variant.name == assignment.variant.name:
             # Same model, possibly different batch size / budget: no reload.
             self.assignment = assignment
             self.pending_assignment = None
+            self._cancel_pending_swap()
             self._maybe_start_batch()
             return
         if old.task == assignment.task:
             # Same task, different variant: keep serving with the old variant
-            # until the new one finishes loading.
+            # until the new one finishes loading.  A swap that is already
+            # pending is superseded: its completion event must not install the
+            # newer variant at the *older* variant's ready time.
+            self._cancel_pending_swap()
             self.pending_assignment = assignment
             ready_at = now_s + assignment.variant.load_time_ms / 1000.0
-            self.sim.engine.schedule(ready_at, self._complete_swap)
+            self._pending_swap_event = self.sim.engine.schedule_event(SwapCompleteEvent(ready_at, self))
             return
         # Task changed: queued queries of the old task cannot be served here.
         for stale in list(self.queue):
             self.sim.notify_drop(stale, reason="worker reassigned to a different task")
         self.queue.clear()
         self.pending_assignment = None
+        self._cancel_pending_swap()
         self.assignment = assignment
         self.available_at_s = now_s + assignment.variant.load_time_ms / 1000.0
-        self.sim.engine.schedule(self.available_at_s, self._maybe_start_batch)
+        self.sim.engine.schedule_event(ModelReadyEvent(self.available_at_s, self))
 
     def _complete_swap(self) -> None:
         """The pending same-task variant finished loading; switch over."""
+        self._pending_swap_event = None
         if self.pending_assignment is not None:
             self.assignment = self.pending_assignment
             self.pending_assignment = None
@@ -144,10 +174,37 @@ class SimWorker:
     def queue_length(self) -> int:
         return len(self.queue)
 
+    # -- fault injection ---------------------------------------------------------
+    def fail(self, reason: str = "worker failed") -> None:
+        """Hard failure: everything queued or executing here is lost."""
+        if self.failed:
+            return
+        self.failed = True
+        self.active = False
+        if self._batch_event is not None:
+            for query in self._batch_event.batch:
+                self.sim.notify_drop(query, reason=reason)
+            self._batch_event.cancel()
+            self._batch_event = None
+        self.busy = False
+        for stale in list(self.queue):
+            self.sim.notify_drop(stale, reason=reason)
+        self.queue.clear()
+        self.assignment = None
+        self.pending_assignment = None
+        self._cancel_pending_swap()
+
+    def recover(self) -> None:
+        """The worker comes back empty; the next plan application can use it."""
+        self.failed = False
+
     # -- query intake ------------------------------------------------------------
     def enqueue(self, query: IntermediateQuery) -> None:
         """A query arrives at this worker (already includes network delay)."""
         now = self.sim.engine.now_s
+        if self.failed:
+            self.sim.notify_drop(query, reason="worker failed")
+            return
         assignment = self.assignment
         if assignment is None:
             # No model hosted at all (should not happen when routing is consistent).
@@ -169,22 +226,24 @@ class SimWorker:
 
     # -- batching ----------------------------------------------------------------
     def _maybe_start_batch(self) -> None:
-        if self.busy or not self.queue or self.assignment is None:
+        if self.busy or not self.queue or self.assignment is None or self.failed:
             return
         now = self.sim.engine.now_s
         if now < self.available_at_s - 1e-12:
             return  # model still loading; a start is scheduled for load completion
         assignment = self.assignment
         batch_count = min(len(self.queue), assignment.batch_size)
-        batch: List[IntermediateQuery] = [self.queue.popleft() for _ in range(batch_count)]
+        popleft = self.queue.popleft
+        batch: List[IntermediateQuery] = [popleft() for _ in range(batch_count)]
         duration_s = assignment.variant.execution_latency_ms(batch_count) / 1000.0
         self.busy = True
         self.busy_time_s += duration_s
-        self.sim.engine.schedule_in(duration_s, lambda: self._complete_batch(batch))
+        self._batch_event = self.sim.engine.schedule_event(BatchCompleteEvent(now + duration_s, self, batch))
 
     def _complete_batch(self, batch: List[IntermediateQuery]) -> None:
         assignment = self.assignment
         self.busy = False
+        self._batch_event = None
         if assignment is None:  # pragma: no cover - defensive
             for query in batch:
                 self.sim.notify_drop(query, reason="assignment removed mid-batch")

@@ -25,7 +25,18 @@ from repro.workloads.traces import (
     step_trace,
     scale_trace_to_capacity,
 )
-from repro.workloads.arrivals import arrivals_for_second, arrivals_from_trace
+from repro.workloads.arrivals import (
+    ARRIVAL_PROCESSES,
+    ArrivalProcess,
+    DiurnalProcess,
+    FlashCrowdProcess,
+    MMPPProcess,
+    PoissonProcess,
+    UniformProcess,
+    arrivals_for_second,
+    arrivals_from_trace,
+    make_arrival_process,
+)
 from repro.workloads.content import ContentModel, MultiplicativeContentModel
 
 __all__ = [
@@ -38,6 +49,14 @@ __all__ = [
     "scale_trace_to_capacity",
     "arrivals_for_second",
     "arrivals_from_trace",
+    "ARRIVAL_PROCESSES",
+    "ArrivalProcess",
+    "PoissonProcess",
+    "UniformProcess",
+    "MMPPProcess",
+    "DiurnalProcess",
+    "FlashCrowdProcess",
+    "make_arrival_process",
     "ContentModel",
     "MultiplicativeContentModel",
 ]

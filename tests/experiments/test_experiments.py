@@ -18,6 +18,7 @@ from repro.experiments import (
     validation,
 )
 from repro.experiments.common import format_table, off_peak_mean_workers, run_system
+from repro.scenarios import SweepRunner
 from repro.workloads import constant_trace
 from repro.zoo import traffic_analysis_pipeline
 
@@ -63,6 +64,14 @@ class TestFig1:
         for point in result.points:
             if point.phase == 1:
                 assert point.system_accuracy == pytest.approx(1.0, abs=1e-6)
+
+    def test_parallel_sweep_reproduces_serial_results(self):
+        """Fanning the demand points across processes must not change them."""
+        serial = fig1_phases.run(num_points=5, sweep_runner=SweepRunner(parallel=False))
+        parallel = fig1_phases.run(num_points=5, sweep_runner=SweepRunner(max_workers=2, parallel=True))
+        assert serial.points == parallel.points
+        assert serial.hardware_capacity_qps == parallel.hardware_capacity_qps
+        assert serial.max_capacity_qps == parallel.max_capacity_qps
 
 
 class TestFig3:
@@ -113,6 +122,14 @@ class TestFig8:
         assert len(result.points) == 2
         assert result.points[0].slo_ms == 250.0
         assert all(0.0 <= p.slo_violation_ratio <= 1.0 for p in result.points)
+
+    @pytest.mark.slow
+    def test_parallel_sweep_reproduces_serial_results(self):
+        """The SweepRunner fan-out must not change the figure's numbers."""
+        kwargs = dict(slos_ms=(250.0, 300.0), duration_s=20, num_workers=12, seed=5)
+        serial = fig8_slo_sweep.run(sweep_runner=SweepRunner(parallel=False), **kwargs)
+        parallel = fig8_slo_sweep.run(sweep_runner=SweepRunner(max_workers=2, parallel=True), **kwargs)
+        assert serial.points == parallel.points
 
 
 class TestValidation:

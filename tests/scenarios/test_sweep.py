@@ -1,0 +1,99 @@
+"""Tests for the parallel multi-seed sweep runner."""
+
+import math
+import pickle
+
+import pytest
+
+from repro.scenarios import ScenarioSpec, SweepRunner
+from repro.scenarios.sweep import MetricStats, _stats
+
+
+TINY = dict(
+    pipeline="single_task",
+    num_workers=6,
+    slo_ms=150.0,
+    trace="constant",
+    trace_params={"qps": 30.0, "duration_s": 8},
+)
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    runner = SweepRunner(parallel=False)
+    return runner.run(["smoke", "smoke_failure"], seeds=[0, 1])
+
+
+class TestSweepRunner:
+    def test_grid_covers_scenarios_and_seeds(self, serial_result):
+        assert len(serial_result.records) == 4
+        assert serial_result.scenarios == ["smoke", "smoke_failure"]
+        assert {r.seed for r in serial_result.records} == {0, 1}
+        assert all(r.summary.total_requests > 0 for r in serial_result.records)
+
+    def test_parallel_matches_serial_bit_for_bit(self, serial_result):
+        parallel = SweepRunner(max_workers=2, parallel=True)
+        assert parallel.parallel  # forced on even on single-core machines
+        result = parallel.run(["smoke", "smoke_failure"], seeds=[0, 1])
+        for a, b in zip(result.records, serial_result.records):
+            assert (a.scenario, a.seed) == (b.scenario, b.seed)
+            assert pickle.dumps(a.summary) == pickle.dumps(b.summary)
+
+    def test_overrides_apply_to_every_scenario(self):
+        runner = SweepRunner(parallel=False)
+        result = runner.run(["smoke"], seeds=[0], overrides={"num_workers": 4})
+        assert result.records[0].summary.peak_workers <= 4
+
+    def test_explicit_specs_accepted(self):
+        spec = ScenarioSpec(name="inline", **TINY)
+        result = SweepRunner(parallel=False).run([spec], seeds=[0])
+        assert result.records[0].scenario == "inline"
+
+    def test_map_preserves_order(self):
+        runner = SweepRunner(max_workers=2, parallel=True)
+        assert runner.map(math.sqrt, [9.0, 4.0, 1.0]) == [3.0, 2.0, 1.0]
+
+    def test_record_lookup(self, serial_result):
+        record = serial_result.record("smoke", 1)
+        assert record.scenario == "smoke" and record.seed == 1
+        with pytest.raises(KeyError):
+            serial_result.record("smoke", 99)
+
+
+class TestAggregation:
+    def test_aggregate_stats(self, serial_result):
+        stats = serial_result.aggregate("slo_violation_ratio")
+        assert set(stats) == {"smoke", "smoke_failure"}
+        for value in stats.values():
+            assert value.n == 2
+            assert 0.0 <= value.mean <= 1.0
+            assert value.ci95[0] <= value.mean <= value.ci95[1]
+        # The failure scenario must be visibly worse than the healthy one.
+        assert stats["smoke_failure"].mean > stats["smoke"].mean
+
+    def test_percentiles_and_ci(self):
+        stats = _stats([1.0, 2.0, 3.0, 4.0])
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.p50 == pytest.approx(2.5)
+        assert stats.p99 == pytest.approx(3.97)
+        assert stats.ci95_half_width > 0
+        assert stats.n == 4
+
+    def test_single_sample_has_zero_width_ci(self):
+        stats = _stats([5.0])
+        assert stats.mean == 5.0
+        assert stats.ci95_half_width == 0.0
+
+    def test_nan_values_are_excluded(self):
+        stats = _stats([1.0, math.nan, 3.0])
+        assert stats.n == 2
+        assert stats.mean == pytest.approx(2.0)
+
+    def test_empty_stats(self):
+        stats = _stats([])
+        assert stats.n == 0 and math.isnan(stats.mean)
+
+    def test_table_renders_all_scenarios(self, serial_result):
+        table = serial_result.table()
+        assert "smoke" in table and "smoke_failure" in table
+        assert "slo_violation_ratio" in table

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.simulator.engine import SimulationEngine
-from repro.simulator.events import EventQueue
+from repro.simulator.events import ArrivalEvent, CallbackEvent, Event, EventQueue
 
 
 class TestEventQueue:
@@ -51,6 +51,88 @@ class TestEventQueue:
         assert queue.peek_time() == 5.0
         assert len(queue) == 1
 
+    def test_cancel_after_execution_is_a_noop(self):
+        """Cancelling an already-executed handle must not corrupt the live
+        count (the seed dataclass implementation tolerated this too)."""
+        queue = EventQueue()
+        executed = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        queue.pop().run()
+        executed.cancel()
+        assert len(queue) == 1
+        assert bool(queue)
+        assert queue.pop() is not None
+
+    def test_cancel_after_engine_run_is_a_noop(self):
+        engine = SimulationEngine()
+        handle = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        engine.run(until_s=1.5)
+        handle.cancel()
+        assert len(engine.queue) == 1
+        assert bool(engine.queue)
+
+    def test_len_is_tracked_without_scanning(self):
+        """The live count survives push/pop/cancel combinations exactly."""
+        queue = EventQueue()
+        events = [queue.schedule(float(i), lambda: None) for i in range(10)]
+        assert len(queue) == 10
+        events[3].cancel()
+        events[7].cancel()
+        events[7].cancel()  # double-cancel must not decrement twice
+        assert len(queue) == 8
+        popped = 0
+        while queue.pop() is not None:
+            popped += 1
+        assert popped == 8
+        assert len(queue) == 0
+        assert not queue
+
+    def test_bulk_extend_matches_individual_pushes(self):
+        fired = []
+        queue = EventQueue()
+        queue.schedule(2.5, lambda: fired.append("mid"))
+        queue.extend([CallbackEvent(float(t), lambda t=t: fired.append(t)) for t in (3, 1, 2)])
+        while queue:
+            queue.pop().run()
+        assert fired == [1, 2, "mid", 3]
+
+    def test_extend_rejects_negative_times(self):
+        with pytest.raises(ValueError):
+            EventQueue().extend([CallbackEvent(-1.0, lambda: None)])
+
+    def test_extend_rollback_detaches_partial_batch(self):
+        """A failed bulk load must not leave handles that can corrupt the
+        live count through a later cancel()."""
+        queue = EventQueue()
+        kept = queue.schedule(1.0, lambda: None)
+        rolled_back = CallbackEvent(2.0, lambda: None)
+        with pytest.raises(ValueError):
+            queue.extend([rolled_back, CallbackEvent(-1.0, lambda: None)])
+        assert len(queue) == 1
+        rolled_back.cancel()
+        assert len(queue) == 1
+        assert queue.pop() is kept
+
+    def test_typed_event_dispatches_by_kind(self):
+        class FakeFrontend:
+            def __init__(self):
+                self.submissions = 0
+
+            def submit(self):
+                self.submissions += 1
+
+        frontend = FakeFrontend()
+        queue = EventQueue()
+        event = queue.push(ArrivalEvent(1.0, frontend))
+        assert event.kind == "arrival"
+        queue.pop().run()
+        assert frontend.submissions == 1
+
+    def test_base_event_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Event(1.0).run()
+
 
 class TestSimulationEngine:
     def test_clock_advances_to_event_times(self):
@@ -74,6 +156,31 @@ class TestSimulationEngine:
         # The later event is still pending and runs when resumed.
         engine.run()
         assert fired == [1, 10]
+
+    def test_horizon_authoritative_when_calendar_drains_early(self):
+        """Regression: with no event beyond the horizon the clock must still
+        land exactly on ``until_s``, not on the last processed event."""
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda: None)
+        stop_time = engine.run(until_s=5.0)
+        assert stop_time == 5.0
+        assert engine.now_s == 5.0
+
+    def test_horizon_on_empty_calendar(self):
+        engine = SimulationEngine()
+        assert engine.run(until_s=3.0) == 3.0
+        assert engine.now_s == 3.0
+
+    def test_exhausted_event_budget_does_not_jump_to_horizon(self):
+        """A run stopped by max_events is mid-flight: the clock stays at the
+        last processed event so the caller can resume."""
+        engine = SimulationEngine()
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule(t, lambda: None)
+        stop_time = engine.run(until_s=10.0, max_events=2)
+        assert stop_time == 2.0
+        assert engine.now_s == 2.0
+        assert engine.run(until_s=10.0) == 10.0
 
     def test_schedule_in_relative_delay(self):
         engine = SimulationEngine()
@@ -115,3 +222,22 @@ class TestSimulationEngine:
         engine.schedule(1.0, lambda: None)
         assert engine.step() is True
         assert engine.step() is False
+
+    def test_raising_callback_keeps_queue_accounting_exact(self):
+        """A callback exception must not corrupt the live count: the popped
+        events (including the raising one) leave len(queue) consistent."""
+        engine = SimulationEngine()
+
+        def boom():
+            raise RuntimeError("injected")
+
+        engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, boom)
+        engine.schedule(3.0, lambda: None)
+        with pytest.raises(RuntimeError):
+            engine.run()
+        assert engine.events_processed == 2  # first event + the raising one
+        assert len(engine.queue) == 1
+        engine.run()
+        assert len(engine.queue) == 0
+        assert not engine.queue

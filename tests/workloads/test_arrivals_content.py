@@ -5,7 +5,14 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.pipeline import Edge
-from repro.workloads import MultiplicativeContentModel, arrivals_for_second, arrivals_from_trace, constant_trace
+from repro.workloads import (
+    MultiplicativeContentModel,
+    arrivals_for_second,
+    arrivals_from_trace,
+    constant_trace,
+    make_arrival_process,
+)
+from repro.workloads.arrivals import ARRIVAL_PROCESSES
 
 from tests.conftest import make_variant
 
@@ -55,6 +62,97 @@ class TestArrivals:
         if times.size:
             assert times.min() >= second
             assert times.max() < second + 1
+
+
+class TestArrivalProcesses:
+    """The vectorized whole-trace API used by the scenario substrate."""
+
+    def test_registry_contents(self):
+        assert {"poisson", "uniform", "mmpp", "diurnal", "flash_crowd"} <= set(ARRIVAL_PROCESSES)
+
+    def test_unknown_process_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_arrival_process("teleporting")
+
+    def test_poisson_trace_sampling_is_sorted_and_in_range(self):
+        rng = np.random.default_rng(0)
+        times = make_arrival_process("poisson").sample_trace(np.full(20, 50.0), rng)
+        assert np.all(np.diff(times) >= 0)
+        assert times.min() >= 0.0 and times.max() < 20.0
+        assert len(times) == pytest.approx(20 * 50.0, rel=0.1)
+
+    def test_poisson_negative_rate_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            make_arrival_process("poisson").sample_trace(np.array([1.0, -1.0]), rng)
+
+    def test_uniform_trace_sampling_exact_counts(self):
+        rng = np.random.default_rng(0)
+        times = make_arrival_process("uniform").sample_trace(np.array([4.0, 0.0, 2.0]), rng)
+        assert len(times) == 6
+        assert np.all((times[:4] >= 0.0) & (times[:4] < 1.0))
+        assert np.all((times[4:] >= 2.0) & (times[4:] < 3.0))
+
+    def test_mmpp_preserves_mean_but_adds_burstiness(self):
+        """The MMPP's stationary mean multiplier is 1, so total demand follows
+        the trace while per-second counts become overdispersed."""
+        rng_poisson = np.random.default_rng(5)
+        rng_mmpp = np.random.default_rng(5)
+        rate, duration = 40.0, 400
+        qps = np.full(duration, rate)
+        poisson_times = make_arrival_process("poisson").sample_trace(qps, rng_poisson)
+        mmpp_times = make_arrival_process("mmpp", burst_intensity=3.0).sample_trace(qps, rng_mmpp)
+        assert len(mmpp_times) == pytest.approx(len(poisson_times), rel=0.15)
+        edges = np.arange(duration + 1)
+        poisson_var = np.histogram(poisson_times, bins=edges)[0].var()
+        mmpp_var = np.histogram(mmpp_times, bins=edges)[0].var()
+        assert mmpp_var > 1.5 * poisson_var
+
+    def test_mmpp_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            make_arrival_process("mmpp", burst_intensity=0.5)
+        with pytest.raises(ValueError):
+            make_arrival_process("mmpp", p_enter_burst=0.0)
+        with pytest.raises(ValueError):
+            # Stationary mean cannot stay 1 with this much burst weight.
+            make_arrival_process("mmpp", burst_intensity=10.0, p_enter_burst=0.5, p_exit_burst=0.5)
+
+    def test_flash_crowd_concentrates_arrivals_in_spike(self):
+        rng = np.random.default_rng(2)
+        process = make_arrival_process("flash_crowd", magnitude=5.0, spike_at_s=40.0, spike_duration_s=10.0)
+        times = process.sample_trace(np.full(100, 20.0), rng)
+        in_spike = np.sum((times >= 40.0) & (times < 50.0))
+        before = np.sum((times >= 20.0) & (times < 30.0))
+        assert in_spike > 3 * before
+
+    def test_flash_crowd_defaults_to_trace_midpoint(self):
+        rng = np.random.default_rng(2)
+        process = make_arrival_process("flash_crowd", magnitude=6.0, spike_duration_s=4.0)
+        rates = process.modulated_rates(np.full(20, 10.0), rng)
+        # Spike window is centred: [8, 12) for a 4-second spike in 20 seconds.
+        assert 8 <= rates.argmax() < 12
+        assert rates[10] == pytest.approx(60.0)
+        assert rates[0] == pytest.approx(10.0)
+
+    def test_diurnal_modulation_shape(self):
+        rng = np.random.default_rng(0)
+        process = make_arrival_process("diurnal", amplitude=0.5, period_s=20.0)
+        rates = process.modulated_rates(np.full(40, 10.0), rng)
+        assert rates.max() == pytest.approx(15.0, rel=0.01)
+        assert rates.min() == pytest.approx(5.0, rel=0.01)
+        assert np.all(rates >= 0)
+
+    def test_diurnal_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            make_arrival_process("diurnal", amplitude=1.5)
+        with pytest.raises(ValueError):
+            make_arrival_process("diurnal", period_s=0.0)
+
+    def test_sampling_is_deterministic_per_seed(self):
+        for name in ("poisson", "mmpp", "flash_crowd", "diurnal"):
+            a = make_arrival_process(name).sample_trace(np.full(30, 25.0), np.random.default_rng(9))
+            b = make_arrival_process(name).sample_trace(np.full(30, 25.0), np.random.default_rng(9))
+            assert np.array_equal(a, b)
 
 
 class TestContentModel:
