@@ -5,6 +5,10 @@ The package is organised as follows:
 * :mod:`repro.core` -- the paper's contribution: pipeline graphs, MILP-based
   resource allocation (hardware + accuracy scaling), MostAccurateFirst
   routing, early dropping with opportunistic rerouting, and the Controller.
+* :mod:`repro.control` -- the unified control-plane engine and the
+  allocation-/routing-policy registries every serving system plugs into.
+* :mod:`repro.telemetry` -- counters, gauges and streaming-quantile
+  histograms collected per simulation run and aggregated across sweeps.
 * :mod:`repro.solver` -- the MILP substrate (modelling layer, HiGHS backend,
   pure-Python branch and bound, greedy rounding).
 * :mod:`repro.simulator` -- the discrete-event cluster simulator that replaces

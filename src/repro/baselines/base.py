@@ -1,27 +1,34 @@
 """Shared machinery for baseline control planes.
 
 A baseline control plane implements the same protocol as Loki's Controller
-(:class:`repro.simulator.runner.ControlPlane`): it receives demand reports and
-heartbeats and periodically publishes an allocation plan plus routing tables.
-The plan-construction policy is what differs between baselines and is supplied
-by subclasses through :meth:`BaselineControlPlane.build_plan`.
+(:class:`repro.simulator.runner.ControlPlane`).  Since the control-plane
+overhaul both are thin layers over the unified
+:class:`repro.control.engine.ControlPlaneEngine`: the engine owns the periodic
+loop (demand estimation, fingerprint-keyed LRU plan caching, plan diffing,
+routing refresh) and the baselines differ only in their
+:class:`~repro.control.policies.AllocationPolicy`.
+
+``BaselineControlPlane`` supports both styles of specialisation: pass an
+``allocation_policy`` (how :class:`~repro.baselines.inferline.InferLineControlPlane`
+and :class:`~repro.baselines.proteus.ProteusControlPlane` are built), or
+subclass and override :meth:`build_plan` directly (the pre-refactor surface,
+kept for simple cases like :class:`StaticPlanControlPlane`).
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
+from repro.control.engine import ControlPlaneEngine
+from repro.control.policies import DelegatingAllocationPolicy, multiplier_fingerprint
 from repro.core.allocation import AllocationPlan
-from repro.core.load_balancer import LoadBalancer, RoutingPlan, workers_from_plan
 from repro.core.pipeline import Pipeline
-from repro.core.resource_manager import DemandEstimator
 
 __all__ = ["BaselineControlPlane", "StaticPlanControlPlane"]
 
 
-class BaselineControlPlane:
-    """Base class: periodic plan publication + MostAccurateFirst routing."""
+class BaselineControlPlane(ControlPlaneEngine):
+    """Baseline skeleton: periodic plan publication + pluggable routing."""
 
     def __init__(
         self,
@@ -31,104 +38,54 @@ class BaselineControlPlane:
         reallocation_interval_s: float = 10.0,
         routing_refresh_interval_s: float = 1.0,
         ewma_alpha: float = 0.5,
+        multiplier_ewma_alpha: Optional[float] = None,
         demand_quantum_qps: float = 20.0,
         min_demand_qps: float = 1.0,
+        plan_cache_size: int = 64,
+        allocation_policy=None,
+        routing_policy=None,
     ):
-        self.pipeline = pipeline
-        self.num_workers = int(num_workers)
-        self.latency_slo_ms = float(latency_slo_ms if latency_slo_ms is not None else pipeline.latency_slo_ms)
-        self.reallocation_interval_s = float(reallocation_interval_s)
-        self.estimator = DemandEstimator(alpha=ewma_alpha)
-        self.demand_quantum_qps = float(demand_quantum_qps)
-        self.min_demand_qps = float(min_demand_qps)
-        self.load_balancer = LoadBalancer(pipeline, refresh_interval_s=routing_refresh_interval_s)
-        self.multiplier_estimates: Dict[str, float] = {
-            variant.name: variant.multiplicative_factor
-            for task in pipeline.tasks
-            for variant in pipeline.registry.variants(task)
-        }
-        self.task_demand: Dict[str, DemandEstimator] = {
-            task: DemandEstimator(alpha=ewma_alpha) for task in pipeline.tasks
-        }
-        self.current_plan: Optional[AllocationPlan] = None
-        self.current_routing: Optional[RoutingPlan] = None
-        self._last_allocation_s: Optional[float] = None
-        self._plan_cache: Dict[float, AllocationPlan] = {}
-        self.allocations_performed = 0
+        if allocation_policy is None:
+            # Subclass style: plan construction is the control plane's own
+            # build_plan/plan_fingerprint pair, adapted into a policy.
+            allocation_policy = DelegatingAllocationPolicy(self.build_plan, self.plan_fingerprint)
+        super().__init__(
+            pipeline,
+            allocation_policy,
+            routing_policy,
+            num_workers=num_workers,
+            latency_slo_ms=latency_slo_ms,
+            reallocation_interval_s=reallocation_interval_s,
+            routing_refresh_interval_s=routing_refresh_interval_s,
+            ewma_alpha=ewma_alpha,
+            multiplier_ewma_alpha=multiplier_ewma_alpha,
+            demand_quantum_qps=demand_quantum_qps,
+            min_demand_qps=min_demand_qps,
+            plan_cache_size=plan_cache_size,
+        )
 
-    # -- reporting API -----------------------------------------------------------
-    def report_demand(self, timestamp_s: float, demand_qps: float) -> None:
-        self.estimator.observe(demand_qps)
-
-    def report_multiplier(self, variant_name: str, observed_factor: float) -> None:
-        # Baselines receive the same heartbeats Loki does; whether they use the
-        # information is up to the subclass.
-        if variant_name in self.multiplier_estimates:
-            previous = self.multiplier_estimates[variant_name]
-            self.multiplier_estimates[variant_name] = 0.3 * observed_factor + 0.7 * previous
-
-    def report_task_demand(self, task_name: str, demand_qps: float) -> None:
-        """Observed arrival rate at one task (what a pipeline-agnostic system sees)."""
-        if task_name in self.task_demand:
-            self.task_demand[task_name].observe(demand_qps)
-
-    # -- control loop --------------------------------------------------------------
+    # -- policy surface (pre-refactor API) --------------------------------------
     def provisioning_target_qps(self) -> float:
-        target = max(self.estimator.estimate(), self.min_demand_qps)
-        if self.demand_quantum_qps > 0:
-            target = math.ceil(target / self.demand_quantum_qps) * self.demand_quantum_qps
-        return target
+        return self.allocation.provisioning_target_qps()
 
-    def should_reallocate(self, now_s: float) -> bool:
-        if self.current_plan is None or self._last_allocation_s is None:
-            return True
-        return now_s - self._last_allocation_s >= self.reallocation_interval_s
-
-    def step(self, now_s: float, force: bool = False) -> Tuple[Optional[AllocationPlan], Optional[RoutingPlan]]:
-        new_plan = None
-        if force or self.should_reallocate(now_s):
-            target = self.provisioning_target_qps()
-            plan = self._plan_cache.get(self._cache_key(target))
-            if plan is None:
-                plan = self.build_plan(target)
-                self._plan_cache[self._cache_key(target)] = plan
-                self.allocations_performed += 1
-            if self._differs(plan):
-                new_plan = plan
-            self.current_plan = plan
-            self._last_allocation_s = now_s
-
-        new_routing = None
-        if self.current_plan is not None and (
-            force or new_plan is not None or self.load_balancer.should_refresh(now_s, new_plan is not None)
-        ):
-            workers = workers_from_plan(self.current_plan, self.pipeline)
-            demand = max(self.estimator.estimate(), self.min_demand_qps)
-            new_routing = self.load_balancer.refresh(now_s, workers, demand, self.multiplier_estimates)
-            self.current_routing = new_routing
-        return new_plan, new_routing
-
-    def _cache_key(self, target: float) -> float:
-        return round(target, 3)
-
-    def _differs(self, plan: AllocationPlan) -> bool:
-        if self.current_plan is None:
-            return True
-        old = {(a.task, a.variant_name, a.batch_size): a.replicas for a in self.current_plan.allocations}
-        new = {(a.task, a.variant_name, a.batch_size): a.replicas for a in plan.allocations}
-        return old != new
-
-    # -- policy hook ------------------------------------------------------------------
     def build_plan(self, target_demand_qps: float) -> AllocationPlan:
-        raise NotImplementedError
+        if isinstance(self.allocation, DelegatingAllocationPolicy):
+            raise NotImplementedError("subclasses must override build_plan")
+        return self.allocation.build_plan(target_demand_qps)
+
+    def plan_fingerprint(self) -> Tuple:
+        """Everything (beyond the rounded demand target) a cached plan depends on."""
+        if isinstance(self.allocation, DelegatingAllocationPolicy):
+            return multiplier_fingerprint(self.multiplier_estimates)
+        return self.allocation.fingerprint()
 
 
 class StaticPlanControlPlane(BaselineControlPlane):
     """Serves a fixed, externally supplied allocation plan (used by tests/ablations)."""
 
     def __init__(self, pipeline: Pipeline, num_workers: int, plan: AllocationPlan, **kwargs):
-        super().__init__(pipeline, num_workers, **kwargs)
         self._static_plan = plan
+        super().__init__(pipeline, num_workers, **kwargs)
 
     def build_plan(self, target_demand_qps: float) -> AllocationPlan:
         return self._static_plan

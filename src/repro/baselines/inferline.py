@@ -9,18 +9,23 @@ the same minimum-worker MILP Loki uses for its hardware-scaling step.  When
 demand exceeds what the cluster can serve with the pinned variants, the best
 the system can do is provision for its maximum throughput -- the regime in
 which its SLO violations climb in Figures 5 and 6.
+
+The plan construction lives in :class:`InferLineAllocationPolicy`, a
+registered :class:`~repro.control.policies.AllocationPolicy`;
+:class:`InferLineControlPlane` wires it into the unified control-plane engine.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Mapping, Optional
 
+from repro.baselines.base import BaselineControlPlane
+from repro.control.policies import AllocationPolicy, register_allocation_policy
 from repro.core.allocation import AllocationPlan, AllocationProblem
 from repro.core.pipeline import Edge, Pipeline, Task
 from repro.core.profiles import ProfileRegistry
-from repro.baselines.base import BaselineControlPlane
 
-__all__ = ["InferLineControlPlane", "restrict_pipeline_to_variants"]
+__all__ = ["InferLineAllocationPolicy", "InferLineControlPlane", "restrict_pipeline_to_variants"]
 
 
 def restrict_pipeline_to_variants(pipeline: Pipeline, selection: Mapping[str, str]) -> Pipeline:
@@ -38,35 +43,44 @@ def restrict_pipeline_to_variants(pipeline: Pipeline, selection: Mapping[str, st
     return Pipeline(f"{pipeline.name}|restricted", tasks, edges, registry, latency_slo_ms=pipeline.latency_slo_ms)
 
 
-class InferLineControlPlane(BaselineControlPlane):
+@register_allocation_policy
+class InferLineAllocationPolicy(AllocationPolicy):
     """Hardware scaling only, with a client-pinned variant per task."""
+
+    name = "inferline"
 
     def __init__(
         self,
-        pipeline: Pipeline,
-        num_workers: int,
         variant_selection: Optional[Mapping[str, str]] = None,
         communication_latency_ms: float = 2.0,
         solver_backend: str = "auto",
-        **kwargs,
     ):
-        super().__init__(pipeline, num_workers, **kwargs)
-        if variant_selection is None:
-            variant_selection = {
-                task: pipeline.registry.most_accurate(task).name for task in pipeline.tasks
-            }
-        self.variant_selection: Dict[str, str] = dict(variant_selection)
-        self.restricted_pipeline = restrict_pipeline_to_variants(pipeline, self.variant_selection)
+        super().__init__()
+        self._requested_selection = variant_selection
+        self.variant_selection: Dict[str, str] = {}
+        self.restricted_pipeline: Optional[Pipeline] = None
         self.communication_latency_ms = float(communication_latency_ms)
         self.solver_backend = solver_backend
 
+    def bind(self, engine) -> None:
+        super().bind(engine)
+        pipeline = engine.pipeline
+        if self._requested_selection is None:
+            self.variant_selection = {
+                task: pipeline.registry.most_accurate(task).name for task in pipeline.tasks
+            }
+        else:
+            self.variant_selection = dict(self._requested_selection)
+        self.restricted_pipeline = restrict_pipeline_to_variants(pipeline, self.variant_selection)
+
     def _problem(self) -> AllocationProblem:
+        engine = self.engine
         return AllocationProblem(
             pipeline=self.restricted_pipeline,
-            num_workers=self.num_workers,
-            latency_slo_ms=self.latency_slo_ms,
+            num_workers=engine.num_workers,
+            latency_slo_ms=engine.latency_slo_ms,
             communication_latency_ms=self.communication_latency_ms,
-            multiplicative_factors=self.multiplier_estimates,
+            multiplicative_factors=engine.multiplier_estimates,
             solver_backend=self.solver_backend,
         )
 
@@ -82,7 +96,7 @@ class InferLineControlPlane(BaselineControlPlane):
         capacity = problem.max_supported_demand(restrict_to_best=True)
         best_effort = capacity.plan
         best_effort = AllocationPlan(
-            pipeline_name=self.pipeline.name,
+            pipeline_name=self.engine.pipeline.name,
             mode="hardware",
             demand_qps=target_demand_qps,
             allocations=best_effort.allocations,
@@ -96,7 +110,7 @@ class InferLineControlPlane(BaselineControlPlane):
 
     def _with_original_name(self, plan: AllocationPlan) -> AllocationPlan:
         return AllocationPlan(
-            pipeline_name=self.pipeline.name,
+            pipeline_name=self.engine.pipeline.name,
             mode=plan.mode,
             demand_qps=plan.demand_qps,
             allocations=plan.allocations,
@@ -106,3 +120,40 @@ class InferLineControlPlane(BaselineControlPlane):
             feasible=plan.feasible,
             solver_info=plan.solver_info,
         )
+
+
+class InferLineControlPlane(BaselineControlPlane):
+    """InferLine's policy behind the unified control-plane engine."""
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        num_workers: int,
+        variant_selection: Optional[Mapping[str, str]] = None,
+        communication_latency_ms: float = 2.0,
+        solver_backend: str = "auto",
+        **kwargs,
+    ):
+        policy = InferLineAllocationPolicy(
+            variant_selection=variant_selection,
+            communication_latency_ms=communication_latency_ms,
+            solver_backend=solver_backend,
+        )
+        super().__init__(pipeline, num_workers, allocation_policy=policy, **kwargs)
+
+    # -- pre-refactor API --------------------------------------------------------
+    @property
+    def variant_selection(self) -> Dict[str, str]:
+        return self.allocation.variant_selection
+
+    @property
+    def restricted_pipeline(self) -> Pipeline:
+        return self.allocation.restricted_pipeline
+
+    @property
+    def communication_latency_ms(self) -> float:
+        return self.allocation.communication_latency_ms
+
+    @property
+    def solver_backend(self) -> str:
+        return self.allocation.solver_backend

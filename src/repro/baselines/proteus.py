@@ -18,6 +18,10 @@ Those three properties produce exactly the failure modes Section 6.2 reports:
 throughput bottlenecks when upstream variants change the downstream load, end
 to-end deadline misses even when each task individually "meets" its target,
 and no server savings at off-peak times.
+
+The plan construction lives in :class:`ProteusAllocationPolicy`, a registered
+:class:`~repro.control.policies.AllocationPolicy`;
+:class:`ProteusControlPlane` wires it into the unified control-plane engine.
 """
 
 from __future__ import annotations
@@ -25,33 +29,56 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Tuple
 
+from repro.baselines.base import BaselineControlPlane
+from repro.control.policies import AllocationPolicy, register_allocation_policy
 from repro.core.allocation import ACCURACY_SCALING, AllocationPlan, VariantAllocation
 from repro.core.pipeline import Pipeline
 from repro.core.profiles import ModelVariant
 from repro.solver import Model, solve
-from repro.baselines.base import BaselineControlPlane
 
-__all__ = ["ProteusControlPlane"]
+__all__ = ["ProteusAllocationPolicy", "ProteusControlPlane"]
 
 
-class ProteusControlPlane(BaselineControlPlane):
+@register_allocation_policy
+class ProteusAllocationPolicy(AllocationPolicy):
     """Pipeline-agnostic accuracy scaling over the whole cluster."""
+
+    name = "proteus"
 
     def __init__(
         self,
-        pipeline: Pipeline,
-        num_workers: int,
         solver_backend: str = "auto",
         solver_options: Optional[Dict[str, object]] = None,
         slo_slack_factor: float = 2.0,
-        **kwargs,
     ):
-        super().__init__(pipeline, num_workers, **kwargs)
+        super().__init__()
         self.solver_backend = solver_backend
         self.solver_options = dict(solver_options or {"mip_rel_gap": 2e-3, "time_limit": 3.0})
         self.slo_slack_factor = float(slo_slack_factor)
 
     # -- demand view ---------------------------------------------------------------
+    def fingerprint(self) -> Tuple:
+        """Proteus plans also depend on the observed per-task demand.
+
+        The estimates are quantised to the demand quantum so the plan cache is
+        still useful, while genuine drift (e.g. upstream variants changing the
+        downstream load) invalidates stale plans.
+        """
+        engine = self.engine
+        quantum = engine.demand_quantum_qps if engine.demand_quantum_qps > 0 else 1.0
+        demands = tuple(
+            sorted(
+                (
+                    task,
+                    math.ceil(max(est.estimate(), engine.min_demand_qps) / quantum) * quantum
+                    if est.num_observations
+                    else None,
+                )
+                for task, est in engine.task_demand.items()
+            )
+        )
+        return (super().fingerprint(), demands)
+
     def task_demand_estimate(self, task_name: str, root_target_qps: float) -> float:
         """Reactive per-task demand: what this task's workers have recently observed.
 
@@ -60,31 +87,36 @@ class ProteusControlPlane(BaselineControlPlane):
         whose real load is multiplied by upstream fan-out -- the blind spot of
         a pipeline-agnostic system).
         """
-        estimator = self.task_demand.get(task_name)
+        engine = self.engine
+        estimator = engine.task_demand.get(task_name)
         if estimator is not None and estimator.num_observations > 0:
-            return max(estimator.estimate(), self.min_demand_qps)
-        return max(root_target_qps, self.min_demand_qps)
+            return max(estimator.estimate(), engine.min_demand_qps)
+        return max(root_target_qps, engine.min_demand_qps)
 
     # -- allocation -------------------------------------------------------------------
     def build_plan(self, target_demand_qps: float) -> AllocationPlan:
         """Joint accuracy-maximising allocation treating every task as an independent model."""
-        tasks = list(self.pipeline.tasks)
+        engine = self.engine
+        pipeline = engine.pipeline
+        tasks = list(pipeline.tasks)
         demands = {task: self.task_demand_estimate(task, target_demand_qps) for task in tasks}
-        budget_ms = self.latency_slo_ms / self.slo_slack_factor
+        budget_ms = engine.latency_slo_ms / self.slo_slack_factor
 
         model = Model("proteus")
         x_vars: Dict[Tuple[str, str, int], object] = {}
         f_vars: Dict[Tuple[str, str, int], object] = {}
         configs: Dict[Tuple[str, str, int], Tuple[ModelVariant, float, float]] = {}
         for task in tasks:
-            for variant in self.pipeline.registry.variants(task):
+            for variant in pipeline.registry.variants(task):
                 for batch in variant.batch_sizes:
                     latency = variant.latency_ms(batch)
                     if latency > budget_ms:
                         continue  # the only latency awareness Proteus has is per model
                     key = (task, variant.name, batch)
                     configs[key] = (variant, variant.throughput_qps(batch), latency)
-                    x_vars[key] = model.add_var(f"x[{task}|{variant.name}|{batch}]", lb=0, ub=self.num_workers, integer=True)
+                    x_vars[key] = model.add_var(
+                        f"x[{task}|{variant.name}|{batch}]", lb=0, ub=engine.num_workers, integer=True
+                    )
                     f_vars[key] = model.add_var(f"f[{task}|{variant.name}|{batch}]", lb=0.0)
 
         total_x = None
@@ -106,7 +138,7 @@ class ProteusControlPlane(BaselineControlPlane):
         for key, var in x_vars.items():
             total_x = var * 1.0 if total_x is None else total_x + var
         if total_x is not None:
-            model.add_constraint(total_x <= float(self.num_workers), name="cluster_size")
+            model.add_constraint(total_x <= float(engine.num_workers), name="cluster_size")
         if objective is not None:
             model.maximize(objective)
 
@@ -144,7 +176,7 @@ class ProteusControlPlane(BaselineControlPlane):
         # already selected for each task, round-robin across tasks.
         allocations, total_workers = self._fill_cluster(allocations, total_workers, feasible_tasks, budget_ms)
         return AllocationPlan(
-            pipeline_name=self.pipeline.name,
+            pipeline_name=pipeline.name,
             mode=ACCURACY_SCALING,
             demand_qps=target_demand_qps,
             allocations=allocations,
@@ -163,14 +195,15 @@ class ProteusControlPlane(BaselineControlPlane):
         budget_ms: float,
     ) -> Tuple[List[VariantAllocation], int]:
         """Assign leftover workers as extra replicas (no hardware scale-down)."""
-        if total_workers >= self.num_workers or not tasks:
+        engine = self.engine
+        if total_workers >= engine.num_workers or not tasks:
             return allocations, total_workers
         by_key: Dict[Tuple[str, str, int], VariantAllocation] = {
             (a.task, a.variant_name, a.batch_size): a for a in allocations
         }
         task_cycle = sorted(tasks)
         index = 0
-        while total_workers < self.num_workers:
+        while total_workers < engine.num_workers:
             task = task_cycle[index % len(task_cycle)]
             index += 1
             existing = [a for a in by_key.values() if a.task == task]
@@ -187,7 +220,7 @@ class ProteusControlPlane(BaselineControlPlane):
                     accuracy=best.accuracy,
                 )
             else:
-                variant = self.pipeline.registry.most_accurate(task)
+                variant = engine.pipeline.registry.most_accurate(task)
                 batch = variant.best_batch_for_latency(budget_ms) or min(variant.batch_sizes)
                 key = (task, variant.name, batch)
                 by_key[key] = VariantAllocation(
@@ -209,17 +242,19 @@ class ProteusControlPlane(BaselineControlPlane):
         proportionally to each task's share of the total observed demand, which
         is how an accuracy-scaling system degrades once it runs out of room.
         """
+        engine = self.engine
+        pipeline = engine.pipeline
         total_demand = sum(demands.values()) or 1.0
         allocations: List[VariantAllocation] = []
         total_workers = 0
-        tasks = list(self.pipeline.tasks)
+        tasks = list(pipeline.tasks)
         for task in tasks:
             share = demands[task] / total_demand
-            budget_workers = max(1, int(round(share * self.num_workers)))
-            budget_workers = min(budget_workers, self.num_workers - total_workers)
+            budget_workers = max(1, int(round(share * engine.num_workers)))
+            budget_workers = min(budget_workers, engine.num_workers - total_workers)
             if budget_workers <= 0:
                 continue
-            variant = self.pipeline.registry.least_accurate(task)
+            variant = pipeline.registry.least_accurate(task)
             batch = variant.best_batch_for_latency(budget_ms) or min(variant.batch_sizes)
             allocations.append(
                 VariantAllocation(
@@ -237,7 +272,7 @@ class ProteusControlPlane(BaselineControlPlane):
             sum(a.accuracy * a.replicas for a in allocations) / total_workers if total_workers else 0.0
         )
         return AllocationPlan(
-            pipeline_name=self.pipeline.name,
+            pipeline_name=pipeline.name,
             mode=ACCURACY_SCALING,
             demand_qps=target_demand_qps,
             allocations=allocations,
@@ -246,3 +281,31 @@ class ProteusControlPlane(BaselineControlPlane):
             total_workers=total_workers,
             feasible=False,
         )
+
+
+class ProteusControlPlane(BaselineControlPlane):
+    """Proteus's policy behind the unified control-plane engine."""
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        num_workers: int,
+        solver_backend: str = "auto",
+        solver_options: Optional[Dict[str, object]] = None,
+        slo_slack_factor: float = 2.0,
+        **kwargs,
+    ):
+        policy = ProteusAllocationPolicy(
+            solver_backend=solver_backend,
+            solver_options=solver_options,
+            slo_slack_factor=slo_slack_factor,
+        )
+        super().__init__(pipeline, num_workers, allocation_policy=policy, **kwargs)
+
+    # -- pre-refactor API --------------------------------------------------------
+    def task_demand_estimate(self, task_name: str, root_target_qps: float) -> float:
+        return self.allocation.task_demand_estimate(task_name, root_target_qps)
+
+    @property
+    def slo_slack_factor(self) -> float:
+        return self.allocation.slo_slack_factor

@@ -1,0 +1,220 @@
+"""Allocation-policy plug point of the unified control plane.
+
+An :class:`AllocationPolicy` decides *what to run*: given the engine's demand
+estimate it produces an :class:`~repro.core.allocation.AllocationPlan`.  The
+base class implements the generic machinery every periodic control plane
+shares — interval-based reallocation, demand-quantum provisioning targets and
+fingerprint-keyed LRU plan caching — so concrete policies usually override
+only :meth:`build_plan` (and :meth:`fingerprint` when their plans depend on
+more runtime state than the multiplier estimates).
+
+Policies are registered by name (:func:`register_allocation_policy`); Loki's
+two-step MILP allocator (:class:`repro.core.controller.Controller`) and the
+InferLine/Proteus baselines (:mod:`repro.baselines`) are all policies behind
+the same :class:`~repro.control.engine.ControlPlaneEngine`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Optional, Tuple, TYPE_CHECKING
+
+from repro.core.allocation import AllocationPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.control.engine import ControlPlaneEngine
+    from repro.core.load_balancer import RoutingPlan
+
+__all__ = [
+    "AllocationPolicy",
+    "LokiAllocationPolicy",
+    "StaticPlanPolicy",
+    "DelegatingAllocationPolicy",
+    "ALLOCATION_POLICIES",
+    "register_allocation_policy",
+    "multiplier_fingerprint",
+]
+
+#: name -> policy class; populated by ``register_allocation_policy`` (the
+#: baseline policies register on ``repro.baselines`` import, Loki's on
+#: ``repro.core.controller`` import).
+ALLOCATION_POLICIES: Dict[str, type] = {}
+
+
+def register_allocation_policy(cls: type) -> type:
+    """Class decorator: add the policy to :data:`ALLOCATION_POLICIES` by its ``name``."""
+    ALLOCATION_POLICIES[cls.name] = cls
+    return cls
+
+
+def multiplier_fingerprint(estimates: Dict[str, float]) -> Tuple:
+    """Quantised snapshot of multiplier estimates for plan-cache keys.
+
+    Estimates are quantised to 0.5 (the Resource Manager's quantum) so
+    heartbeat jitter does not defeat the cache while real drift invalidates
+    stale plans — the fix for the seed bug where baseline plan caches were
+    keyed on demand alone and served stale plans forever.
+    """
+    return tuple(sorted((name, round(value * 2) / 2) for name, value in estimates.items()))
+
+
+class AllocationPolicy:
+    """Base class: generic periodic allocation with fingerprinted plan caching."""
+
+    name = "allocation"
+
+    def __init__(self):
+        self.engine: Optional["ControlPlaneEngine"] = None
+
+    def bind(self, engine: "ControlPlaneEngine") -> None:
+        """Attach the policy to its engine (called once, from the engine ctor)."""
+        self.engine = engine
+
+    # -- observation hooks (heartbeats land here through the engine) -----------
+    def observe_demand(self, timestamp_s: float, demand_qps: float) -> None:
+        self.engine.estimator.observe(demand_qps)
+
+    def observe_multiplier(self, variant_name: str, observed_factor: float) -> None:
+        estimates = self.engine.multiplier_estimates
+        if variant_name in estimates:
+            alpha = self.engine.multiplier_ewma_alpha
+            estimates[variant_name] = alpha * observed_factor + (1 - alpha) * estimates[variant_name]
+
+    def observe_task_demand(self, task_name: str, demand_qps: float) -> None:
+        estimator = self.engine.task_demand.get(task_name)
+        if estimator is not None:
+            estimator.observe(demand_qps)
+
+    # -- estimates the routing refresh consumes --------------------------------
+    def multiplier_snapshot(self) -> Dict[str, float]:
+        return dict(self.engine.multiplier_estimates)
+
+    def routing_demand_qps(self) -> float:
+        engine = self.engine
+        return max(engine.estimator.estimate(), engine.min_demand_qps)
+
+    # -- allocation ------------------------------------------------------------
+    def provisioning_target_qps(self) -> float:
+        engine = self.engine
+        target = max(engine.estimator.estimate(), engine.min_demand_qps)
+        if engine.demand_quantum_qps > 0:
+            target = math.ceil(target / engine.demand_quantum_qps) * engine.demand_quantum_qps
+        return target
+
+    def fingerprint(self) -> Tuple:
+        """Everything (beyond the demand target) a cached plan depends on."""
+        return multiplier_fingerprint(self.engine.multiplier_estimates)
+
+    def should_reallocate(self, now_s: float) -> bool:
+        engine = self.engine
+        if engine.current_plan is None or engine.last_allocation_s is None:
+            return True
+        return now_s - engine.last_allocation_s >= engine.reallocation_interval_s
+
+    def allocate(self, now_s: float) -> AllocationPlan:
+        """One allocation round: target -> cache lookup -> ``build_plan`` on miss."""
+        engine = self.engine
+        target = self.provisioning_target_qps()
+        key = (round(target, 3), self.fingerprint())
+        plan = engine.plan_cache_get(key)
+        if plan is None:
+            plan = self.build_plan(target)
+            engine.plan_cache_put(key, plan)
+            engine.allocations_performed += 1
+        engine.last_allocation_s = now_s
+        return plan
+
+    def build_plan(self, target_demand_qps: float) -> AllocationPlan:
+        raise NotImplementedError
+
+    # -- notifications ---------------------------------------------------------
+    def on_routing(self, routing: "RoutingPlan") -> None:
+        """Called after every routing refresh (Loki records it in the Metadata Store)."""
+
+
+@register_allocation_policy
+class LokiAllocationPolicy(AllocationPolicy):
+    """Loki's two-step hardware/accuracy-scaling allocator (Section 4).
+
+    Wraps a :class:`~repro.core.resource_manager.ResourceManager`, which owns
+    its own demand estimation (EWMA + headroom), multiplier-aware plan cache,
+    warm starts and plan-switch hysteresis — so this policy overrides the
+    generic cached path entirely and routes observations into the Metadata
+    Store the way a real Loki deployment's heartbeats would.
+    """
+
+    name = "loki"
+
+    def __init__(self, resource_manager):
+        super().__init__()
+        self.resource_manager = resource_manager
+        self.metadata = resource_manager.metadata
+
+    def observe_demand(self, timestamp_s: float, demand_qps: float) -> None:
+        self.resource_manager.observe_demand(timestamp_s, demand_qps)
+
+    def observe_multiplier(self, variant_name: str, observed_factor: float) -> None:
+        self.metadata.report_multiplier(variant_name, observed_factor)
+
+    def multiplier_snapshot(self) -> Dict[str, float]:
+        return self.metadata.multiplier_estimates()
+
+    def routing_demand_qps(self) -> float:
+        return max(
+            self.resource_manager.estimator.estimate(),
+            self.metadata.latest_demand_qps(),
+            self.engine.min_demand_qps,
+        )
+
+    def should_reallocate(self, now_s: float) -> bool:
+        return self.resource_manager.should_reallocate(now_s)
+
+    def allocate(self, now_s: float) -> AllocationPlan:
+        plan = self.resource_manager.allocate(now_s)
+        self.engine.last_allocation_s = now_s
+        return plan
+
+    def build_plan(self, target_demand_qps: float) -> AllocationPlan:
+        return self.resource_manager.allocate(self.engine.last_allocation_s or 0.0, demand_qps=target_demand_qps)
+
+    def on_routing(self, routing: "RoutingPlan") -> None:
+        self.metadata.set_routing(routing)
+
+
+@register_allocation_policy
+class StaticPlanPolicy(AllocationPolicy):
+    """Serves a fixed, externally supplied plan (tests / ablations)."""
+
+    name = "static"
+
+    def __init__(self, plan: AllocationPlan):
+        super().__init__()
+        self.plan = plan
+
+    def build_plan(self, target_demand_qps: float) -> AllocationPlan:
+        return self.plan
+
+
+class DelegatingAllocationPolicy(AllocationPolicy):
+    """Adapter for control planes that override ``build_plan`` on themselves.
+
+    :class:`~repro.baselines.base.BaselineControlPlane` subclasses predate the
+    policy split and define plan construction as a method on the control
+    plane; this adapter exposes that method as a policy so they run behind the
+    unified engine unchanged.
+    """
+
+    name = "delegating"
+
+    def __init__(self, build_plan: Callable[[float], AllocationPlan], fingerprint: Optional[Callable[[], Tuple]] = None):
+        super().__init__()
+        self._build_plan = build_plan
+        self._fingerprint = fingerprint
+
+    def build_plan(self, target_demand_qps: float) -> AllocationPlan:
+        return self._build_plan(target_demand_qps)
+
+    def fingerprint(self) -> Tuple:
+        if self._fingerprint is not None:
+            return self._fingerprint()
+        return super().fingerprint()

@@ -1,0 +1,282 @@
+"""Routing-policy plug point of the unified control plane.
+
+A routing policy turns (worker fleet, estimated demand, multiplier estimates)
+into a :class:`~repro.core.load_balancer.RoutingPlan`.  The paper's
+:class:`~repro.core.load_balancer.MostAccurateFirst` (Algorithm 1) is the
+default; this module adds accuracy-blind alternatives used as ablations and
+for workloads where accuracy is uniform across variants:
+
+* ``least_loaded`` — water-fills the least-loaded workers first, raising
+  absolute worker loads to a common level (join-the-shortest-queue, in
+  table-generation form);
+* ``weighted_random`` — splits traffic proportionally to worker capacity
+  (equal utilisation everywhere);
+* ``power_of_two`` — the stateless form of power-of-two-choices: the routing
+  probability of a worker equals the probability it wins a "pick two uniformly
+  at random, keep the one with more spare capacity" draw.
+
+All policies share one traversal (:class:`TrafficSplitPolicy`): route client
+demand at the root, then propagate multiplier-scaled demand task by task in
+topological order, collecting leftover capacity into the backup tables used
+for opportunistic rerouting.  A policy only decides how one parcel of demand
+is split across one task's workers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.load_balancer import (
+    MostAccurateFirst,
+    RoutingEntry,
+    RoutingPlan,
+    RoutingTable,
+    WorkerState,
+)
+from repro.core.pipeline import Pipeline
+
+__all__ = [
+    "RoutingPolicy",
+    "TrafficSplitPolicy",
+    "LeastLoadedRouting",
+    "WeightedRandomRouting",
+    "PowerOfTwoChoicesRouting",
+    "ROUTING_POLICIES",
+    "register_routing_policy",
+    "make_routing_policy",
+]
+
+
+class RoutingPolicy:
+    """Protocol: anything with ``build(workers, demand_qps, factors) -> RoutingPlan``."""
+
+    name = "routing"
+
+    def __init__(self, pipeline: Pipeline):
+        self.pipeline = pipeline
+
+    def build(
+        self,
+        workers: Sequence[WorkerState],
+        demand_qps: float,
+        multiplicative_factors: Optional[Mapping[str, float]] = None,
+    ) -> RoutingPlan:
+        raise NotImplementedError
+
+
+#: name -> policy class (MostAccurateFirst is registered below).
+ROUTING_POLICIES: Dict[str, type] = {}
+
+
+def register_routing_policy(cls: type) -> type:
+    """Class decorator: add the policy to :data:`ROUTING_POLICIES` by its ``name``."""
+    ROUTING_POLICIES[cls.name] = cls
+    return cls
+
+
+def make_routing_policy(name: str, pipeline: Pipeline, **kwargs):
+    """Instantiate a registered routing policy by name."""
+    if name not in ROUTING_POLICIES:
+        raise KeyError(f"unknown routing policy {name!r}; available: {sorted(ROUTING_POLICIES)}")
+    return ROUTING_POLICIES[name](pipeline, **kwargs)
+
+
+# The paper's Algorithm 1 keeps its implementation (and exact tie-breaking) in
+# repro.core.load_balancer; it registers here as the default policy.
+MostAccurateFirst.name = "most_accurate_first"
+ROUTING_POLICIES[MostAccurateFirst.name] = MostAccurateFirst
+
+
+class TrafficSplitPolicy(RoutingPolicy):
+    """Shared traversal: root routing + topological demand propagation + backups.
+
+    Subclasses implement :meth:`split`, which decides how one parcel of demand
+    is divided across one task's workers given their current spare capacity.
+    """
+
+    def split(self, workers: Sequence[WorkerState], demand_qps: float) -> List[float]:
+        """Amounts (aligned with ``workers``) with ``amount_i <= remaining_i``
+        and ``sum(amounts) <= demand_qps``."""
+        raise NotImplementedError
+
+    def build(
+        self,
+        workers: Sequence[WorkerState],
+        demand_qps: float,
+        multiplicative_factors: Optional[Mapping[str, float]] = None,
+    ) -> RoutingPlan:
+        multiplicative_factors = dict(multiplicative_factors or {})
+        by_task: Dict[str, List[WorkerState]] = {}
+        for worker in workers:
+            worker.reset()
+            by_task.setdefault(worker.task, []).append(worker)
+        for task_workers in by_task.values():
+            task_workers.sort(key=lambda w: w.worker_id)  # deterministic split order
+
+        frontend_table = RoutingTable()
+        worker_tables: Dict[str, RoutingTable] = {w.worker_id: RoutingTable() for w in workers}
+        unplaced: Dict[str, float] = {}
+
+        root = self.pipeline.root
+        placed = self._route_parcel(frontend_table, by_task.get(root, []), root, demand_qps)
+        if demand_qps > 0:
+            unplaced[root] = max(0.0, (demand_qps - placed) / demand_qps)
+
+        for task_name in self.pipeline.topological_order():
+            for worker in by_task.get(task_name, []):
+                factor = multiplicative_factors.get(
+                    worker.variant_name,
+                    self.pipeline.registry.variant(worker.variant_name).multiplicative_factor,
+                )
+                table = worker_tables[worker.worker_id]
+                for edge in self.pipeline.children(task_name):
+                    outgoing = worker.incoming_qps * factor * edge.branch_ratio
+                    if outgoing <= 1e-12:
+                        continue
+                    placed = self._route_parcel(table, by_task.get(edge.child, []), edge.child, outgoing)
+                    shortfall = (outgoing - placed) / outgoing
+                    unplaced[edge.child] = max(unplaced.get(edge.child, 0.0), max(0.0, shortfall))
+
+        backup_tables = MostAccurateFirst._build_backups(by_task)
+        return RoutingPlan(
+            frontend_table=frontend_table,
+            worker_tables=worker_tables,
+            backup_tables=backup_tables,
+            unplaced_fraction=unplaced,
+        )
+
+    def _route_parcel(
+        self, table: RoutingTable, destinations: List[WorkerState], task: str, demand_qps: float
+    ) -> float:
+        """Split one parcel across ``destinations``, append entries, return placed qps."""
+        if demand_qps <= 1e-12 or not destinations:
+            return 0.0
+        amounts = self.split(destinations, demand_qps)
+        placed = 0.0
+        for worker, amount in zip(destinations, amounts):
+            if amount <= 1e-12:
+                continue
+            amount = min(amount, worker.remaining_capacity_qps)
+            if amount <= 1e-12:
+                continue
+            table.add(
+                task,
+                RoutingEntry(worker.worker_id, amount / demand_qps, worker.accuracy, worker.latency_ms),
+            )
+            worker.remaining_capacity_qps -= amount
+            worker.incoming_qps += amount
+            placed += amount
+        return placed
+
+
+@register_routing_policy
+class LeastLoadedRouting(TrafficSplitPolicy):
+    """Water-fill on load: raise every worker's absolute load to one level.
+
+    The parcel fills the least-loaded workers first, bringing worker loads
+    (``incoming_qps``, capped by capacity) up to a common water level — the
+    table-generation analogue of join-the-shortest-queue dispatch.  Across the
+    sequential parcels of the shared traversal this keeps already-loaded
+    workers deprioritised until the rest catch up.
+    """
+
+    name = "least_loaded"
+
+    def split(self, workers: Sequence[WorkerState], demand_qps: float) -> List[float]:
+        n = len(workers)
+        loads = [w.incoming_qps for w in workers]
+        spares = [max(0.0, w.remaining_capacity_qps) for w in workers]
+        ceilings = [load + spare for load, spare in zip(loads, spares)]
+        total_spare = sum(spares)
+        if total_spare <= 0.0:
+            return [0.0] * n
+        if demand_qps >= total_spare:
+            return spares
+
+        def placed(level: float) -> float:
+            return sum(
+                min(max(0.0, level - load), spare) for load, spare in zip(loads, spares)
+            )
+
+        # placed() is piecewise linear in the level with breakpoints at every
+        # load/ceiling; walk the segments and interpolate the exact level.
+        points = sorted(set(loads) | set(ceilings))
+        previous, placed_previous = points[0], placed(points[0])
+        level = points[-1]
+        for point in points[1:]:
+            placed_here = placed(point)
+            if placed_here >= demand_qps:
+                rate = (placed_here - placed_previous) / (point - previous)
+                level = previous + (demand_qps - placed_previous) / rate
+                break
+            previous, placed_previous = point, placed_here
+        return [min(max(0.0, level - load), spare) for load, spare in zip(loads, spares)]
+
+
+@register_routing_policy
+class WeightedRandomRouting(TrafficSplitPolicy):
+    """Split demand proportionally to worker capacity (equal utilisation)."""
+
+    name = "weighted_random"
+
+    def split(self, workers: Sequence[WorkerState], demand_qps: float) -> List[float]:
+        weights = [max(0.0, w.capacity_qps) for w in workers]
+        return _proportional_fill(workers, weights, demand_qps)
+
+
+@register_routing_policy
+class PowerOfTwoChoicesRouting(TrafficSplitPolicy):
+    """Stateless power-of-two-choices over spare capacity.
+
+    Per parcel, a worker's routing weight equals the probability it wins a
+    "sample two workers uniformly, keep the one with more spare capacity"
+    draw: with workers ranked by spare capacity ascending (rank ``r`` of
+    ``n``, ties broken by id), that probability is ``(2r + 1) / n**2``.  The
+    closed form keeps the hot path a plain table lookup while preserving
+    power-of-two's load-skew: the most-loaded worker receives ``~1/n**2`` of
+    the parcel instead of ``1/n``.
+    """
+
+    name = "power_of_two"
+
+    def split(self, workers: Sequence[WorkerState], demand_qps: float) -> List[float]:
+        n = len(workers)
+        order = sorted(range(n), key=lambda i: (workers[i].remaining_capacity_qps, workers[i].worker_id))
+        weights = [0.0] * n
+        for rank, index in enumerate(order):
+            weights[index] = (2 * rank + 1) / (n * n)
+        return _proportional_fill(workers, weights, demand_qps)
+
+
+def _proportional_fill(
+    workers: Sequence[WorkerState], weights: Sequence[float], demand_qps: float
+) -> List[float]:
+    """Weight-proportional split capped at spare capacity, spilling overflow.
+
+    Repeatedly distributes the unplaced remainder proportionally over workers
+    that still have spare capacity, so saturating one worker spills its excess
+    to the rest instead of dropping it.
+    """
+    n = len(workers)
+    amounts = [0.0] * n
+    remaining = [max(0.0, w.remaining_capacity_qps) for w in workers]
+    left = min(demand_qps, sum(remaining))
+    for _ in range(n):
+        if left <= 1e-12:
+            break
+        open_weights = [weights[i] if remaining[i] > 1e-12 else 0.0 for i in range(n)]
+        total_weight = sum(open_weights)
+        if total_weight <= 0.0:
+            break
+        placed_this_round = 0.0
+        for i in range(n):
+            if open_weights[i] <= 0.0:
+                continue
+            take = min(left * open_weights[i] / total_weight, remaining[i])
+            amounts[i] += take
+            remaining[i] -= take
+            placed_this_round += take
+        left -= placed_this_round
+        if placed_this_round <= 1e-12:
+            break
+    return amounts

@@ -555,7 +555,9 @@ class AllocationProblem:
                 continue
             branch_list = sorted(branches)
             reference = branch_list[0]
-            config_keys = {key for (key, b) in by_config_branch if key[0] == task}
+            # Sorted so the constraint order (and therefore solver tie-breaks
+            # between equally optimal plans) does not depend on PYTHONHASHSEED.
+            config_keys = sorted({key for (key, b) in by_config_branch if key[0] == task})
             for key in config_keys:
                 ref_indices = by_config_branch.get((key, reference), [])
                 ref_expr = self._sum_flows(flow_vars, ref_indices)

@@ -1,23 +1,36 @@
-"""The Controller: glue between the Resource Manager, Load Balancer and Metadata Store.
+"""The Controller: Loki's control plane as a facade over the unified engine.
 
 Section 3 of the paper describes the Controller as the component that owns the
 Metadata Store and periodically runs the Resource Manager (every 10 s) and the
 Load Balancer (every routing refresh interval, and whenever the allocation
-plan changes).  The simulator's frontend and workers report demand and
-multiplicative-factor observations to the Controller through the same methods
-a real deployment would use (heartbeats).
+plan changes).  The periodic loop itself — plan diffing, worker-state
+expansion, routing refresh — lives in
+:class:`repro.control.engine.ControlPlaneEngine`; this module wires that
+engine with Loki's policies: the two-step MILP allocator
+(:class:`repro.control.policies.LokiAllocationPolicy` wrapping the
+:class:`ResourceManager`) and a configurable routing policy (the paper's
+MostAccurateFirst by default).
+
+The simulator's frontend and workers report demand and multiplicative-factor
+observations through the same methods a real deployment would use
+(heartbeats), and the pre-refactor public API (``metadata``,
+``resource_manager``, ``load_balancer``, ``plan_changes``...) is preserved.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.allocation import AllocationPlan
-from repro.core.load_balancer import LoadBalancer, RoutingPlan, WorkerState, workers_from_plan
+from repro.core.load_balancer import LoadBalancer, RoutingPlan, WorkerState
 from repro.core.metadata import MetadataStore
 from repro.core.pipeline import Pipeline
 from repro.core.resource_manager import ResourceManager
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.control.engine import ControlPlaneEngine
+    from repro.telemetry import TelemetryRegistry
 
 __all__ = ["ControllerConfig", "Controller"]
 
@@ -43,7 +56,11 @@ class ControllerConfig:
     utilization_target: float = 0.75
     batch_sizes: Optional[Tuple[int, ...]] = None
     drop_policy: str = "opportunistic_rerouting"
+    #: routing-table generation algorithm (see repro.control.routing)
+    routing_policy: str = "most_accurate_first"
     solver_backend: str = "auto"
+    #: extra keyword options for the MILP backend (e.g. ``{"time_limit": 30.0}``)
+    solver_options: Optional[Dict[str, object]] = None
     #: seed each control period's MILP with the previous allocation's solution
     solver_warm_start: bool = True
     min_demand_qps: float = 1.0
@@ -53,6 +70,11 @@ class Controller:
     """Owns the control-plane components and exposes the heartbeat/reporting API."""
 
     def __init__(self, pipeline: Pipeline, config: Optional[ControllerConfig] = None):
+        # Imported here (not at module level): repro.control imports repro.core,
+        # so a module-level import would create a cycle on `import repro.control`.
+        from repro.control.engine import ControlPlaneEngine
+        from repro.control.policies import LokiAllocationPolicy
+
         self.pipeline = pipeline
         self.config = config or ControllerConfig()
         self.metadata = MetadataStore(pipeline)
@@ -71,80 +93,69 @@ class Controller:
             min_demand_qps=self.config.min_demand_qps,
             utilization_target=self.config.utilization_target,
             solver_backend=self.config.solver_backend,
+            solver_options=self.config.solver_options,
             solver_warm_start=self.config.solver_warm_start,
         )
-        self.load_balancer = LoadBalancer(pipeline, refresh_interval_s=self.config.routing_refresh_interval_s)
-        self.current_plan: Optional[AllocationPlan] = None
-        self.current_routing: Optional[RoutingPlan] = None
-        self.current_workers: List[WorkerState] = []
-        self.plan_changes = 0
+        self.engine: "ControlPlaneEngine" = ControlPlaneEngine(
+            pipeline,
+            LokiAllocationPolicy(self.resource_manager),
+            self.config.routing_policy,
+            num_workers=self.config.num_workers,
+            latency_slo_ms=self.config.latency_slo_ms,
+            reallocation_interval_s=self.config.reallocation_interval_s,
+            routing_refresh_interval_s=self.config.routing_refresh_interval_s,
+            ewma_alpha=self.config.ewma_alpha,
+            demand_quantum_qps=self.config.demand_quantum_qps,
+            min_demand_qps=self.config.min_demand_qps,
+        )
 
     # -- reporting API (frontend / worker heartbeats) --------------------------
     def report_demand(self, timestamp_s: float, demand_qps: float) -> None:
         """Frontend demand report for the last measurement interval."""
-        self.resource_manager.observe_demand(timestamp_s, demand_qps)
+        self.engine.report_demand(timestamp_s, demand_qps)
 
     def report_multiplier(self, variant_name: str, observed_factor: float) -> None:
         """Worker heartbeat: observed multiplicative factor for one variant."""
-        self.metadata.report_multiplier(variant_name, observed_factor)
+        self.engine.report_multiplier(variant_name, observed_factor)
 
     # -- periodic control loop ---------------------------------------------------
     def step(self, now_s: float, force: bool = False) -> Tuple[Optional[AllocationPlan], Optional[RoutingPlan]]:
-        """Run one control-loop tick: re-allocate and/or refresh routing as needed.
+        """Run one control-loop tick: re-allocate and/or refresh routing as needed."""
+        return self.engine.step(now_s, force=force)
 
-        Returns the (possibly new) allocation plan and routing plan; either may
-        be ``None`` when nothing changed this tick.
-        """
-        new_plan = None
-        if force or self.resource_manager.should_reallocate(now_s):
-            plan = self.resource_manager.allocate(now_s)
-            plan_changed = self._plan_differs(plan)
-            if plan_changed:
-                self.plan_changes += 1
-                self.current_plan = plan
-                self.current_workers = workers_from_plan(plan, self.pipeline)
-                new_plan = plan
-            else:
-                self.current_plan = plan
+    def attach_telemetry(self, registry: "TelemetryRegistry") -> None:
+        self.engine.attach_telemetry(registry)
 
-        new_routing = None
-        plan_changed = new_plan is not None
-        if self.current_plan is not None and (
-            force or self.load_balancer.should_refresh(now_s, plan_changed)
-        ):
-            demand = max(
-                self.resource_manager.estimator.estimate(),
-                self.metadata.latest_demand_qps(),
-                self.config.min_demand_qps,
-            )
-            new_routing = self.load_balancer.refresh(
-                now_s,
-                self.current_workers,
-                demand,
-                self.metadata.multiplier_estimates(),
-            )
-            self.current_routing = new_routing
-            self.metadata.set_routing(new_routing)
-        return new_plan, new_routing
+    # -- engine state (pre-refactor API) -----------------------------------------
+    @property
+    def load_balancer(self) -> LoadBalancer:
+        return self.engine.load_balancer
 
-    def _plan_differs(self, plan: AllocationPlan) -> bool:
-        if self.current_plan is None:
-            return True
-        old = {(a.task, a.variant_name, a.batch_size): a.replicas for a in self.current_plan.allocations}
-        new = {(a.task, a.variant_name, a.batch_size): a.replicas for a in plan.allocations}
-        return old != new
+    @property
+    def current_plan(self) -> Optional[AllocationPlan]:
+        return self.engine.current_plan
+
+    @property
+    def current_routing(self) -> Optional[RoutingPlan]:
+        return self.engine.current_routing
+
+    @property
+    def current_workers(self) -> List[WorkerState]:
+        return self.engine.current_workers
+
+    @property
+    def plan_changes(self) -> int:
+        return self.engine.plan_changes
 
     # -- queries -------------------------------------------------------------------
     @property
     def active_workers(self) -> int:
-        return self.current_plan.total_workers if self.current_plan else 0
+        return self.engine.active_workers
 
     @property
     def expected_accuracy(self) -> float:
-        return self.current_plan.expected_accuracy if self.current_plan else 0.0
+        return self.engine.expected_accuracy
 
     def latency_budget_ms(self, task: str, variant_name: str, batch_size: int) -> float:
         """Per-task latency budget derived from the plan's configured batch size."""
-        if self.current_plan is None:
-            raise RuntimeError("no allocation plan available yet")
-        return self.current_plan.latency_budget_ms(task, variant_name, batch_size)
+        return self.engine.latency_budget_ms(task, variant_name, batch_size)

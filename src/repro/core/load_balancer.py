@@ -22,6 +22,7 @@ that upstream workers use for opportunistic rerouting (Section 5.2).
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -29,6 +30,7 @@ import numpy as np
 
 from repro.core.allocation import AllocationPlan
 from repro.core.pipeline import Pipeline
+from repro.core.sampling import CompiledSampler
 
 __all__ = [
     "WorkerState",
@@ -79,18 +81,27 @@ class RoutingTable:
     means the plan could not place that fraction of the expected traffic (the
     cluster is saturated) and samplers renormalise so queries still go
     somewhere, at the cost of queueing.
+
+    Sampling happens on the per-query hot path of the simulator, so each
+    destination's probability vector is compiled once (lazily, on first use)
+    into a :class:`~repro.core.sampling.CompiledSampler`: the scalar ``choose``
+    is a dict lookup plus a ``bisect`` over the cumulative-probability list,
+    and ``choose_batch`` exposes the sampler's vectorized draws for bulk
+    consumers.  The compiled inverse-CDF draw consumes one uniform per query
+    and performs the same float comparisons as the previous
+    ``np.searchsorted`` implementation, so sampled routes are bit-identical.
     """
+
+    __slots__ = ("_entries", "_compiled")
 
     def __init__(self):
         self._entries: Dict[str, List[RoutingEntry]] = {}
-        # Cached cumulative probability arrays per destination task; sampling
-        # happens on the per-query hot path of the simulator, so `choose`
-        # avoids rebuilding arrays on every call.
-        self._cumulative: Dict[str, np.ndarray] = {}
+        #: task -> (cumulative list, entries tuple, last index, CompiledSampler)
+        self._compiled: Dict[str, Tuple[List[float], Tuple[RoutingEntry, ...], int, CompiledSampler]] = {}
 
     def add(self, destination_task: str, entry: RoutingEntry) -> None:
         self._entries.setdefault(destination_task, []).append(entry)
-        self._cumulative.pop(destination_task, None)
+        self._compiled.pop(destination_task, None)
 
     def entries(self, destination_task: str) -> List[RoutingEntry]:
         return list(self._entries.get(destination_task, []))
@@ -101,29 +112,51 @@ class RoutingTable:
     def routed_fraction(self, destination_task: str) -> float:
         return sum(e.probability for e in self._entries.get(destination_task, []))
 
-    def _cumulative_for(self, destination_task: str) -> Optional[np.ndarray]:
-        cumulative = self._cumulative.get(destination_task)
-        if cumulative is None:
-            entries = self._entries.get(destination_task)
-            if not entries:
-                return None
-            weights = np.array([e.probability for e in entries], dtype=float)
-            total = weights.sum()
-            if total <= 0:
-                return None
-            cumulative = np.cumsum(weights / total)
-            self._cumulative[destination_task] = cumulative
-        return cumulative
+    def _compile(self, destination_task: str):
+        entries = self._entries.get(destination_task)
+        if not entries:
+            return None
+        weights = [e.probability for e in entries]
+        if sum(weights) <= 0.0:
+            return None
+        sampler = CompiledSampler(weights)
+        compiled = (sampler.cumulative_list, tuple(entries), len(entries) - 1, sampler)
+        self._compiled[destination_task] = compiled
+        return compiled
+
+    def sampler_for(self, destination_task: str) -> Optional[CompiledSampler]:
+        """The compiled (renormalised) sampler for one destination task."""
+        compiled = self._compiled.get(destination_task) or self._compile(destination_task)
+        return compiled[3] if compiled is not None else None
 
     def choose(self, destination_task: str, rng: np.random.Generator) -> Optional[RoutingEntry]:
         """Sample a destination worker proportionally to the routing probabilities."""
-        cumulative = self._cumulative_for(destination_task)
-        if cumulative is None:
-            return None
-        entries = self._entries[destination_task]
-        index = int(np.searchsorted(cumulative, rng.random(), side="right"))
-        index = min(index, len(entries) - 1)
-        return entries[index]
+        compiled = self._compiled.get(destination_task)
+        if compiled is None:
+            compiled = self._compile(destination_task)
+            if compiled is None:
+                return None
+        cumulative, entries, last, _ = compiled
+        # Deliberately inlines CompiledSampler.choose_index (bisect + clamp):
+        # this runs once per simulated query and the method call is measurable.
+        index = bisect_right(cumulative, rng.random())
+        return entries[index if index < last else last]
+
+    def choose_batch(
+        self, destination_task: str, rng: np.random.Generator, size: int, method: str = "searchsorted"
+    ) -> List[RoutingEntry]:
+        """Vectorized sampling of ``size`` destinations in one call.
+
+        Draws uniforms in bulk (``method="searchsorted"``) or through the
+        alias table (``method="alias"``); either way the per-draw cost is
+        O(1).  Note bulk draws consume the RNG stream differently from
+        repeated :meth:`choose` calls.
+        """
+        compiled = self._compiled.get(destination_task) or self._compile(destination_task)
+        if compiled is None:
+            return []
+        _, entries, _, sampler = compiled
+        return [entries[i] for i in sampler.sample_indices(rng, size, method=method)]
 
     def is_empty(self) -> bool:
         return not self._entries
@@ -276,21 +309,25 @@ class MostAccurateFirst:
 
 
 class LoadBalancer:
-    """Wraps MostAccurateFirst with the periodic-refresh behaviour of Section 5.
+    """Wraps a routing policy with the periodic-refresh behaviour of Section 5.
 
     The Load Balancer re-runs the routing algorithm whenever the Resource
     Manager publishes a new plan and also periodically in between, to follow
-    short-term demand changes.
+    short-term demand changes.  The algorithm defaults to the paper's
+    :class:`MostAccurateFirst`; any object with the same ``build(workers,
+    demand_qps, multiplicative_factors)`` signature can be plugged in (see
+    :mod:`repro.control.routing` for the registry of alternatives).
     """
 
-    def __init__(self, pipeline: Pipeline, refresh_interval_s: float = 1.0):
+    def __init__(self, pipeline: Pipeline, refresh_interval_s: float = 1.0, policy=None):
         self.pipeline = pipeline
         self.refresh_interval_s = float(refresh_interval_s)
-        self.algorithm = MostAccurateFirst(pipeline)
+        self.algorithm = policy if policy is not None else MostAccurateFirst(pipeline)
         self.current_plan: Optional[RoutingPlan] = None
         self._last_refresh_s: Optional[float] = None
         self.refresh_count = 0
         self.total_refresh_time_s = 0.0
+        self.last_refresh_time_s = 0.0
 
     def should_refresh(self, now_s: float, plan_changed: bool) -> bool:
         if plan_changed or self.current_plan is None or self._last_refresh_s is None:
@@ -308,7 +345,8 @@ class LoadBalancer:
 
         start = _time.perf_counter()
         plan = self.algorithm.build(workers, demand_qps, multiplicative_factors)
-        self.total_refresh_time_s += _time.perf_counter() - start
+        self.last_refresh_time_s = _time.perf_counter() - start
+        self.total_refresh_time_s += self.last_refresh_time_s
         self.refresh_count += 1
         self.current_plan = plan
         self._last_refresh_s = now_s

@@ -83,6 +83,25 @@ BUILTIN_SCENARIOS = [
         peak_over_hardware=2.7,
     ),
     ScenarioSpec(
+        name="traffic_power_of_two",
+        description="Fig.5 setup routed by stateless power-of-two-choices instead of "
+        "MostAccurateFirst (routing-policy ablation).",
+        pipeline="traffic_analysis",
+        trace="azure_like",
+        trace_params={"duration_s": 120, "peak_qps": 1.0, "trough_fraction": 0.12, "seed": 7},
+        peak_over_hardware=2.5,
+        control_overrides={"routing_policy": "power_of_two"},
+    ),
+    ScenarioSpec(
+        name="traffic_least_loaded",
+        description="Fig.5 setup routed by least-loaded water-filling (routing-policy ablation).",
+        pipeline="traffic_analysis",
+        trace="azure_like",
+        trace_params={"duration_s": 120, "peak_qps": 1.0, "trough_fraction": 0.12, "seed": 7},
+        peak_over_hardware=2.5,
+        control_overrides={"routing_policy": "least_loaded"},
+    ),
+    ScenarioSpec(
         name="validation_uniform",
         description="Variance-minimised validation run: evenly spaced arrivals, expected-value "
         "content model, jitter-free network.",

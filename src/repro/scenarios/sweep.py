@@ -117,6 +117,27 @@ class SweepResult:
             for scenario in self.scenarios
         }
 
+    # -- telemetry ------------------------------------------------------------
+    def telemetry_names(self) -> List[str]:
+        """Every telemetry key observed by at least one run."""
+        names: Dict[str, None] = {}
+        for record in self.records:
+            for name in record.summary.telemetry:
+                names.setdefault(name, None)
+        return sorted(names)
+
+    def telemetry(self, name: str) -> Dict[str, MetricStats]:
+        """Across-seed stats of one telemetry metric (by snapshot key) per scenario.
+
+        Runs that did not record the metric contribute NaN (dropped by the
+        aggregation), so mixed sweeps — e.g. one scenario with faults and one
+        without — still aggregate cleanly.
+        """
+        return {
+            scenario: _stats([s.telemetry.get(name, math.nan) for s in self.summaries(scenario)])
+            for scenario in self.scenarios
+        }
+
     def table(self, metrics: Sequence[str] = DEFAULT_METRICS) -> str:
         """Fixed-width report: one row per scenario, mean +/- CI per metric."""
         aggregates = {metric: self.aggregate(metric) for metric in metrics}

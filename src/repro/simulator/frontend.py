@@ -26,7 +26,16 @@ class Frontend:
     vectorized draws) whose ``run()`` calls :meth:`submit`.
     """
 
-    __slots__ = ("sim", "slo_ms", "_next_request_id", "_window_arrivals", "total_submitted", "rejected_no_plan")
+    __slots__ = (
+        "sim",
+        "slo_ms",
+        "_next_request_id",
+        "_window_arrivals",
+        "total_submitted",
+        "rejected_no_plan",
+        "_tele_requests",
+        "_tele_rejected",
+    )
 
     def __init__(self, sim: "ServingSimulation", slo_ms: float):
         self.sim = sim
@@ -36,6 +45,8 @@ class Frontend:
         self._window_arrivals = 0
         self.total_submitted = 0
         self.rejected_no_plan = 0
+        self._tele_requests = sim.telemetry.counter("frontend.requests")
+        self._tele_rejected = sim.telemetry.counter("frontend.rejected_no_route")
 
     # -- client API -----------------------------------------------------------
     def submit(self) -> Request:
@@ -45,6 +56,7 @@ class Frontend:
         self._next_request_id += 1
         self.total_submitted += 1
         self._window_arrivals += 1
+        self._tele_requests.value += 1
         self.sim.metrics.record_arrival(now)
 
         root_task = self.sim.pipeline.root
@@ -57,6 +69,7 @@ class Frontend:
             # No routing yet (e.g. before the first plan) or no root capacity at
             # all: the request cannot be served.
             self.rejected_no_plan += 1
+            self._tele_rejected.value += 1
             self.sim.notify_drop(query, reason="no frontend route available")
             return request
         self.sim.forward_query(query, entry.worker_id)

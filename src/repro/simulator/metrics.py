@@ -17,11 +17,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
 from repro.simulator.query import Request, RequestStatus
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry import TelemetryRegistry
 
 __all__ = ["IntervalMetrics", "MetricsCollector", "SimulationSummary"]
 
@@ -78,6 +81,9 @@ class SimulationSummary:
     mean_latency_ms: float
     p99_latency_ms: float
     intervals: List[IntervalMetrics] = field(default_factory=list)
+    #: flattened TelemetryRegistry snapshot of the run (counters, gauges,
+    #: streaming-quantile histograms); plain floats so summaries stay picklable
+    telemetry: Dict[str, float] = field(default_factory=dict)
 
     def timeseries(self, attribute: str) -> List[float]:
         """Extract a per-interval series by attribute/property name."""
@@ -87,7 +93,13 @@ class SimulationSummary:
 class MetricsCollector:
     """Accumulates per-interval and per-request metrics during a simulation."""
 
-    def __init__(self, cluster_size: int, interval_s: float = 1.0, max_pipeline_accuracy: float = 1.0):
+    def __init__(
+        self,
+        cluster_size: int,
+        interval_s: float = 1.0,
+        max_pipeline_accuracy: float = 1.0,
+        telemetry: Optional["TelemetryRegistry"] = None,
+    ):
         if interval_s <= 0:
             raise ValueError("interval must be positive")
         self.cluster_size = int(cluster_size)
@@ -101,6 +113,17 @@ class MetricsCollector:
         self.late_requests = 0
         self._accuracy_sum = 0.0
         self._accuracy_count = 0
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self._tele_completed = telemetry.counter("requests.completed")
+            self._tele_dropped = telemetry.counter("requests.dropped")
+            self._tele_late = telemetry.counter("requests.late")
+            #: covers every request that produced results (completed + late),
+            #: the same population as the accuracy accounting; the summary's
+            #: mean/p99_latency_ms cover completed requests only
+            self._tele_latency = telemetry.histogram("requests.latency_ms")
+        else:
+            self._tele_latency = None
 
     # -- recording -----------------------------------------------------------
     def _interval(self, time_s: float) -> IntervalMetrics:
@@ -124,9 +147,14 @@ class MetricsCollector:
         if not request.is_finished or request.completion_s is None:
             raise ValueError("request has not finished yet")
         interval = self._interval(request.completion_s)
+        telemetry = self.telemetry
         if request.status is RequestStatus.COMPLETED:
             self.completed_requests += 1
             interval.completed += 1
+            if telemetry is not None:
+                self._tele_completed.inc()
+                if request.latency_ms is not None:
+                    self._tele_latency.observe(request.latency_ms)
             # Requests that legitimately produced no sink results (e.g. zero
             # objects detected in the frame) completed successfully but have no
             # accuracy to report, so they are excluded from the accuracy average.
@@ -142,9 +170,15 @@ class MetricsCollector:
             if request.status is RequestStatus.DROPPED:
                 self.dropped_requests += 1
                 interval.dropped += 1
+                if telemetry is not None:
+                    self._tele_dropped.inc()
             else:
                 self.late_requests += 1
                 interval.late += 1
+                if telemetry is not None:
+                    self._tele_late.inc()
+                    if request.latency_ms is not None:
+                        self._tele_latency.observe(request.latency_ms)
                 # Late requests still produced results; their accuracy counts
                 # toward the achieved-accuracy average.
                 if request.accuracy_count:

@@ -28,6 +28,7 @@ from repro.simulator.metrics import MetricsCollector, SimulationSummary
 from repro.simulator.network import NetworkModel
 from repro.simulator.query import IntermediateQuery, Request
 from repro.simulator.worker import SimWorker
+from repro.telemetry import TelemetryRegistry
 from repro.workloads.arrivals import ArrivalProcess, make_arrival_process
 from repro.workloads.content import MultiplicativeContentModel
 from repro.workloads.traces import Trace
@@ -99,12 +100,24 @@ class ServingSimulation:
             self.config.arrival_process, **self.config.arrival_params
         )
         self.drop_policy = drop_policy or make_drop_policy(self.config.drop_policy)
+        #: one telemetry registry per run: frontend, workers, the metrics
+        #: collector and the control plane all record into it, and its
+        #: snapshot ships out through ``SimulationSummary.telemetry``
+        self.telemetry = TelemetryRegistry()
+        self._tele_forwarded = self.telemetry.counter("queries.forwarded")
+        self._tele_dropped = self.telemetry.counter("queries.dropped")
+        self._tele_batches = self.telemetry.counter("worker.batches")
+        self._tele_batch_queries = self.telemetry.counter("worker.processed_queries")
+        self._tele_active_workers = self.telemetry.gauge("cluster.active_workers")
+        if hasattr(control_plane, "attach_telemetry"):
+            control_plane.attach_telemetry(self.telemetry)
         self.cluster = Cluster(self, self.config.num_workers)
         self.frontend = Frontend(self, self.config.latency_slo_ms)
         self.metrics = MetricsCollector(
             cluster_size=self.config.num_workers,
             interval_s=self.config.metrics_interval_s,
             max_pipeline_accuracy=pipeline.max_end_to_end_accuracy(),
+            telemetry=self.telemetry,
         )
         self.routing_plan: Optional[RoutingPlan] = None
         self.current_plan: Optional[AllocationPlan] = None
@@ -124,7 +137,9 @@ class ServingSimulation:
         self._schedule_workload()
         horizon = self.trace.duration_s + self.config.drain_s
         self.engine.run(until_s=horizon, max_events=self.config.max_events)
-        return self.metrics.summary()
+        summary = self.metrics.summary()
+        summary.telemetry = self.telemetry.snapshot()
+        return summary
 
     #: arrivals materialized into event objects per calendar load; the sampled
     #: time array is always whole-trace (8 bytes/arrival), but the ~100-byte
@@ -200,6 +215,7 @@ class ServingSimulation:
         if routing is not None:
             self.routing_plan = routing
         self.metrics.record_active_workers(now, self.cluster.active_workers)
+        self._tele_active_workers.set(self.cluster.active_workers)
 
     def _apply_plan(self, plan: AllocationPlan) -> None:
         self.current_plan = plan
@@ -230,6 +246,7 @@ class ServingSimulation:
             self.notify_drop(query, reason=f"logical worker {logical_worker_id} not hosted")
             return
         self.forwarded_queries += 1
+        self._tele_forwarded.value += 1
         delay = self.network.sample_delay_s(self.rng)
         self.engine.schedule_event(DeliveryEvent(self.engine.now_s + delay, worker, query))
 
@@ -242,6 +259,7 @@ class ServingSimulation:
 
     def notify_drop(self, query: IntermediateQuery, reason: str = "") -> None:
         self.dropped_queries += 1
+        self._tele_dropped.value += 1
         if reason:
             self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1
         query.request.record_drop(self.engine.now_s)

@@ -250,6 +250,8 @@ class SimWorker:
             return
         now = self.sim.engine.now_s
         self.processed_batches += 1
+        self.sim._tele_batches.value += 1
+        self.sim._tele_batch_queries.value += len(batch)
         for query in batch:
             self.processed_queries += 1
             query.accuracy_so_far *= assignment.variant.accuracy

@@ -1,0 +1,19 @@
+"""Telemetry subsystem: counters, gauges and streaming-quantile histograms.
+
+Replaces the ad-hoc metric attributes that used to be scattered across the
+frontend, workers and control planes with one registry per simulation run:
+
+* :class:`~repro.telemetry.metrics.Counter` / ``Gauge`` -- O(1) event and
+  level tracking with ``__slots__`` objects cheap enough for per-query paths.
+* :class:`~repro.telemetry.metrics.Histogram` -- streaming distribution
+  summaries whose quantiles come from the P² algorithm (constant memory).
+* :class:`~repro.telemetry.registry.TelemetryRegistry` -- named create-or-get
+  surface whose ``snapshot()`` is a picklable flat dict, shipped through
+  :class:`~repro.simulator.metrics.SimulationSummary` and aggregated across
+  seeds by the sweep runner.
+"""
+
+from repro.telemetry.metrics import Counter, Gauge, Histogram, P2Quantile
+from repro.telemetry.registry import TelemetryRegistry
+
+__all__ = ["Counter", "Gauge", "Histogram", "P2Quantile", "TelemetryRegistry"]

@@ -1,0 +1,185 @@
+"""Telemetry metric primitives: counters, gauges and streaming histograms.
+
+The simulator's hot paths (per-query dispatch, per-batch completion) touch
+these on every event, so the primitives are deliberately tiny: ``__slots__``
+objects whose update is a float add.  Histograms estimate quantiles with the
+P² algorithm (Jain & Chlamtac, 1985) so latency distributions are tracked in
+O(1) memory per quantile instead of storing every sample.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "P2Quantile"]
+
+
+class Counter:
+    """Monotonically increasing value (events, queries, drops...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, float]:
+        return {self.name: self.value}
+
+    def __repr__(self):  # pragma: no cover - debug helper
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """Last-written value plus its observed peak (queue depths, active workers...)."""
+
+    __slots__ = ("name", "value", "peak", "updates")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.peak = -math.inf
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        if value > self.peak:
+            self.peak = float(value)
+        self.updates += 1
+
+    def snapshot(self) -> Dict[str, float]:
+        peak = self.peak if self.updates else 0.0
+        return {self.name: self.value, f"{self.name}.peak": peak}
+
+    def __repr__(self):  # pragma: no cover - debug helper
+        return f"Gauge({self.name}={self.value}, peak={self.peak})"
+
+
+class P2Quantile:
+    """Streaming quantile estimate via the P² algorithm (no sample storage).
+
+    Five markers track the running quantile; each observation adjusts marker
+    heights with parabolic interpolation.  Until five samples have arrived the
+    estimator falls back to the exact small-sample quantile.
+    """
+
+    __slots__ = ("q", "_initial", "_heights", "_positions", "_desired", "_increments")
+
+    def __init__(self, q: float):
+        if not (0.0 < q < 1.0):
+            raise ValueError("quantile must be in (0, 1)")
+        self.q = float(q)
+        self._initial: List[float] = []
+        self._heights: List[float] = []
+        self._positions: List[int] = []
+        self._desired: List[float] = []
+        self._increments: Tuple[float, ...] = ()
+
+    def observe(self, x: float) -> None:
+        if not self._heights:
+            self._initial.append(float(x))
+            if len(self._initial) == 5:
+                self._initial.sort()
+                q = self.q
+                self._heights = list(self._initial)
+                self._positions = [1, 2, 3, 4, 5]
+                self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
+                self._increments = (0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0)
+            return
+
+        heights, positions = self._heights, self._positions
+        if x < heights[0]:
+            heights[0] = x
+            cell = 0
+        elif x >= heights[4]:
+            heights[4] = x
+            cell = 3
+        else:
+            cell = 3
+            for i in range(1, 5):
+                if x < heights[i]:
+                    cell = i - 1
+                    break
+        for i in range(cell + 1, 5):
+            positions[i] += 1
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+
+        for i in (1, 2, 3):
+            delta = self._desired[i] - positions[i]
+            here, right, left = positions[i], positions[i + 1], positions[i - 1]
+            if (delta >= 1.0 and right - here > 1) or (delta <= -1.0 and left - here < -1):
+                step = 1 if delta >= 0 else -1
+                candidate = heights[i] + (step / (right - left)) * (
+                    (here - left + step) * (heights[i + 1] - heights[i]) / (right - here)
+                    + (right - here - step) * (heights[i] - heights[i - 1]) / (here - left)
+                )
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:  # parabolic prediction left the bracket: linear fallback
+                    heights[i] = heights[i] + step * (heights[i + step] - heights[i]) / (
+                        positions[i + step] - here
+                    )
+                positions[i] += step
+
+    def value(self) -> float:
+        if self._heights:
+            return self._heights[2]
+        if not self._initial:
+            return math.nan
+        ordered = sorted(self._initial)
+        index = min(len(ordered) - 1, int(self.q * len(ordered)))
+        return ordered[index]
+
+
+class Histogram:
+    """Streaming distribution summary: count/sum/min/max plus P² quantiles."""
+
+    __slots__ = ("name", "count", "sum", "min", "max", "_quantiles")
+
+    DEFAULT_QUANTILES = (0.5, 0.9, 0.99)
+
+    def __init__(self, name: str, quantiles: Iterable[float] = DEFAULT_QUANTILES):
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._quantiles = {q: P2Quantile(q) for q in quantiles}
+
+    def observe(self, x: float) -> None:
+        x = float(x)
+        self.count += 1
+        self.sum += x
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+        for estimator in self._quantiles.values():
+            estimator.observe(x)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        return self._quantiles[q].value()
+
+    def snapshot(self) -> Dict[str, float]:
+        out = {
+            f"{self.name}.count": float(self.count),
+            f"{self.name}.sum": self.sum,
+            f"{self.name}.mean": self.mean,
+            f"{self.name}.min": self.min if self.count else math.nan,
+            f"{self.name}.max": self.max if self.count else math.nan,
+        }
+        for q, estimator in self._quantiles.items():
+            out[f"{self.name}.p{round(q * 100)}"] = estimator.value()
+        return out
+
+    def __repr__(self):  # pragma: no cover - debug helper
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean:.3f})"

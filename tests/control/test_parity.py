@@ -1,0 +1,211 @@
+"""Control-plane parity: the unified engine reproduces pre-refactor results.
+
+The control-plane overhaul (PR 3) rebuilt Loki's Controller and the
+InferLine/Proteus baselines as policies behind one
+:class:`repro.control.engine.ControlPlaneEngine` and compiled the routing hot
+path into bisect-based samplers.  These tests prove the refactor changed
+*nothing* about simulated behaviour: compressed Figure-5/Figure-6 comparisons
+(all three systems, 20 workers, 20 s traces, seed 0) must reproduce the
+numbers captured from the pre-refactor control plane bit-for-bit.
+
+The golden numbers were captured from the last pre-refactor commit (with the
+two deliberate control-plane bug fixes of this PR already applied: baseline
+plan caches keyed on a multiplier fingerprint, and the configured
+``ewma_alpha`` used for baseline multiplier smoothing) — the compiled
+inverse-CDF sampler consumes the RNG stream identically to the old
+``np.searchsorted`` path, so every downstream event lands on the same
+timestamps.
+
+Determinism notes baked into this configuration:
+
+* ``PYTHONHASHSEED`` independence requires the (fixed) sorted emission of MILP
+  coupling constraints in ``repro.core.allocation``;
+* Loki's fig5 MILPs are kept small enough (restricted batch grid) that every
+  solve terminates on the optimality gap, never on the wall-clock limit —
+  truncated solves would make results depend on machine load.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.common import scenario_for_system
+from repro.workloads import azure_like_trace, twitter_like_trace
+from repro.zoo import social_media_pipeline, traffic_analysis_pipeline
+
+#: summary metrics compared against the goldens (ints exact, floats to 1e-12)
+FIELDS = (
+    "total_requests",
+    "completed_requests",
+    "violated_requests",
+    "dropped_requests",
+    "late_requests",
+    "slo_violation_ratio",
+    "mean_accuracy",
+    "mean_workers",
+    "mean_utilization",
+    "mean_latency_ms",
+    "p99_latency_ms",
+)
+
+INT_FIELDS = {
+    "total_requests",
+    "completed_requests",
+    "violated_requests",
+    "dropped_requests",
+    "late_requests",
+}
+
+LOKI_OVERRIDES = {
+    "fig5": {
+        "solver_options": {"mip_rel_gap": 2e-3, "time_limit": 30.0},
+        "batch_sizes": (1, 4, 16),
+    },
+    "fig6": {"solver_options": {"mip_rel_gap": 2e-3, "time_limit": 30.0}},
+}
+
+#: captured by scripts snapshot of the pre-refactor control plane (see module docstring)
+GOLDEN = json.loads(
+    """\
+{
+    "fig5": {
+        "loki": {
+            "total_requests": 7764.0,
+            "completed_requests": 2265.0,
+            "violated_requests": 5499.0,
+            "dropped_requests": 4564.0,
+            "late_requests": 935.0,
+            "slo_violation_ratio": 0.7082689335394127,
+            "mean_accuracy": 0.9683418755561239,
+            "mean_workers": 16.61904761904762,
+            "mean_utilization": 0.8309523809523811,
+            "mean_latency_ms": 79.08911694448823,
+            "p99_latency_ms": 233.69634858232516
+        },
+        "inferline": {
+            "total_requests": 7764.0,
+            "completed_requests": 179.0,
+            "violated_requests": 4677.0,
+            "dropped_requests": 0.0,
+            "late_requests": 4677.0,
+            "slo_violation_ratio": 0.9631383855024712,
+            "mean_accuracy": 1.0,
+            "mean_workers": 10.4,
+            "mean_utilization": 0.52,
+            "mean_latency_ms": 127.04691224547858,
+            "p99_latency_ms": 244.03905431256317
+        },
+        "proteus": {
+            "total_requests": 7764.0,
+            "completed_requests": 440.0,
+            "violated_requests": 6882.0,
+            "dropped_requests": 1526.0,
+            "late_requests": 5356.0,
+            "slo_violation_ratio": 0.9399071291996722,
+            "mean_accuracy": 0.9982310215260524,
+            "mean_workers": 16.0,
+            "mean_utilization": 0.8,
+            "mean_latency_ms": 106.5678662510909,
+            "p99_latency_ms": 244.39372034198618
+        }
+    },
+    "fig6": {
+        "loki": {
+            "total_requests": 6321.0,
+            "completed_requests": 2608.0,
+            "violated_requests": 3713.0,
+            "dropped_requests": 3081.0,
+            "late_requests": 632.0,
+            "slo_violation_ratio": 0.587407055845594,
+            "mean_accuracy": 0.904586084784887,
+            "mean_workers": 16.227272727272727,
+            "mean_utilization": 0.8113636363636364,
+            "mean_latency_ms": 66.59683656896203,
+            "p99_latency_ms": 233.1869676799154
+        },
+        "inferline": {
+            "total_requests": 6321.0,
+            "completed_requests": 95.0,
+            "violated_requests": 3507.0,
+            "dropped_requests": 0.0,
+            "late_requests": 3507.0,
+            "slo_violation_ratio": 0.9736257634647418,
+            "mean_accuracy": 1.0,
+            "mean_workers": 10.4,
+            "mean_utilization": 0.52,
+            "mean_latency_ms": 131.07169018725486,
+            "p99_latency_ms": 243.1711773925843
+        },
+        "proteus": {
+            "total_requests": 6321.0,
+            "completed_requests": 110.0,
+            "violated_requests": 5753.0,
+            "dropped_requests": 2087.0,
+            "late_requests": 3666.0,
+            "slo_violation_ratio": 0.9812382739212008,
+            "mean_accuracy": 1.0,
+            "mean_workers": 16.0,
+            "mean_utilization": 0.8,
+            "mean_latency_ms": 141.57844583237443,
+            "p99_latency_ms": 248.48852338457712
+        }
+    }
+}"""
+)
+
+
+def parity_specs(figure):
+    if figure == "fig5":
+        pipeline = traffic_analysis_pipeline(latency_slo_ms=250.0)
+        trace = azure_like_trace(duration_s=20, peak_qps=1.0, trough_fraction=0.12, seed=7)
+        peak_over_hardware = 2.5
+    else:
+        pipeline = social_media_pipeline(latency_slo_ms=250.0)
+        trace = twitter_like_trace(duration_s=20, peak_qps=1.0, trough_fraction=0.15, seed=11)
+        peak_over_hardware = 2.7
+    specs = {}
+    for system in ("loki", "inferline", "proteus"):
+        spec = scenario_for_system(
+            system,
+            pipeline,
+            trace,
+            num_workers=20,
+            slo_ms=250.0,
+            control_overrides=dict(LOKI_OVERRIDES[figure]) if system == "loki" else None,
+        )
+        specs[system] = spec.with_overrides(peak_over_hardware=peak_over_hardware)
+    return specs
+
+
+@pytest.mark.parametrize("figure", ["fig5", "fig6"])
+def test_pre_refactor_figure_parity(figure):
+    """Loki + InferLine + Proteus reproduce the pre-refactor fig5/fig6 numbers."""
+    for system, spec in parity_specs(figure).items():
+        summary = spec.run(seed=0)
+        golden = GOLDEN[figure][system]
+        for field in FIELDS:
+            observed = getattr(summary, field)
+            expected = golden[field]
+            if field in INT_FIELDS:
+                assert observed == int(expected), f"{figure}/{system}/{field}"
+            else:
+                # rel=1e-12 only cushions last-ulp libm differences across
+                # platforms; on the reference container values match exactly.
+                assert observed == pytest.approx(expected, rel=1e-12), f"{figure}/{system}/{field}"
+
+
+@pytest.mark.parametrize("figure", ["fig5", "fig6"])
+def test_parity_runs_through_unified_engine(figure):
+    """The systems under parity really are ControlPlaneEngine policies."""
+    from repro.control.engine import ControlPlaneEngine
+    from repro.core.controller import Controller
+
+    specs = parity_specs(figure)
+    for system, spec in specs.items():
+        simulation = spec.build(seed=0)
+        control_plane = simulation.control_plane
+        if system == "loki":
+            assert isinstance(control_plane, Controller)
+            assert isinstance(control_plane.engine, ControlPlaneEngine)
+        else:
+            assert isinstance(control_plane, ControlPlaneEngine)

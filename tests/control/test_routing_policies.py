@@ -1,0 +1,177 @@
+"""Tests for the pluggable routing policies (least-loaded, weighted-random, p2c)."""
+
+import pytest
+
+from repro.control.routing import (
+    LeastLoadedRouting,
+    PowerOfTwoChoicesRouting,
+    ROUTING_POLICIES,
+    WeightedRandomRouting,
+    make_routing_policy,
+)
+from repro.core.load_balancer import MostAccurateFirst, WorkerState
+
+
+def worker(worker_id, task, variant, accuracy, capacity, latency=10.0, batch=4):
+    return WorkerState(
+        worker_id=worker_id,
+        task=task,
+        variant_name=variant,
+        accuracy=accuracy,
+        capacity_qps=capacity,
+        latency_ms=latency,
+        batch_size=batch,
+    )
+
+
+def frontend_probabilities(plan, task):
+    return {e.worker_id: e.probability for e in plan.frontend_table.entries(task)}
+
+
+class TestRegistry:
+    def test_make_by_name(self, small_pipeline):
+        for name, cls in ROUTING_POLICIES.items():
+            policy = make_routing_policy(name, small_pipeline)
+            assert isinstance(policy, cls)
+
+    def test_unknown_name_rejected(self, small_pipeline):
+        with pytest.raises(KeyError):
+            make_routing_policy("fastest_first", small_pipeline)
+
+    def test_most_accurate_first_is_registered_default(self):
+        assert ROUTING_POLICIES["most_accurate_first"] is MostAccurateFirst
+
+
+class TestLeastLoaded:
+    def test_water_fill_equalises_absolute_load(self, small_pipeline):
+        workers = [
+            worker("d0", "detect", "detect_big", 1.0, capacity=10),
+            worker("d1", "detect", "detect_small", 0.8, capacity=20),
+            worker("d2", "detect", "detect_small", 0.8, capacity=30),
+            worker("c0", "classify", "classify_big", 1.0, capacity=500),
+        ]
+        plan = LeastLoadedRouting(small_pipeline).build(workers, demand_qps=30.0)
+        probabilities = frontend_probabilities(plan, "detect")
+        # 30 qps over three workers -> 10 qps each regardless of capacity.
+        assert probabilities["d0"] == pytest.approx(1 / 3)
+        assert probabilities["d1"] == pytest.approx(1 / 3)
+        assert probabilities["d2"] == pytest.approx(1 / 3)
+
+    def test_parcel_fills_least_loaded_workers_first(self, small_pipeline):
+        loaded = worker("d0", "detect", "detect_big", 1.0, capacity=10)
+        loaded.incoming_qps, loaded.remaining_capacity_qps = 8.0, 2.0
+        idle = worker("d1", "detect", "detect_small", 0.8, capacity=10)
+        idle.incoming_qps, idle.remaining_capacity_qps = 0.0, 10.0
+        amounts = LeastLoadedRouting(small_pipeline).split([loaded, idle], 8.0)
+        # The idle worker catches up to the loaded one before either gets more.
+        assert amounts == pytest.approx([0.0, 8.0])
+        amounts = LeastLoadedRouting(small_pipeline).split([loaded, idle], 10.0)
+        assert amounts == pytest.approx([1.0, 9.0])  # level 9 on both
+
+    def test_small_workers_saturate_then_spill(self, small_pipeline):
+        workers = [
+            worker("d0", "detect", "detect_big", 1.0, capacity=10),
+            worker("d1", "detect", "detect_small", 0.8, capacity=100),
+            worker("c0", "classify", "classify_big", 1.0, capacity=500),
+        ]
+        plan = LeastLoadedRouting(small_pipeline).build(workers, demand_qps=60.0)
+        probabilities = frontend_probabilities(plan, "detect")
+        assert probabilities["d0"] == pytest.approx(10 / 60)  # saturated
+        assert probabilities["d1"] == pytest.approx(50 / 60)  # takes the rest
+
+
+class TestWeightedRandom:
+    def test_split_proportional_to_capacity(self, small_pipeline):
+        workers = [
+            worker("d0", "detect", "detect_big", 1.0, capacity=10),
+            worker("d1", "detect", "detect_small", 0.8, capacity=30),
+            worker("c0", "classify", "classify_big", 1.0, capacity=500),
+        ]
+        plan = WeightedRandomRouting(small_pipeline).build(workers, demand_qps=20.0)
+        probabilities = frontend_probabilities(plan, "detect")
+        assert probabilities["d0"] == pytest.approx(0.25)
+        assert probabilities["d1"] == pytest.approx(0.75)
+
+    def test_equal_utilisation(self, small_pipeline):
+        workers = [
+            worker("d0", "detect", "detect_big", 1.0, capacity=40),
+            worker("d1", "detect", "detect_small", 0.8, capacity=160),
+            worker("c0", "classify", "classify_big", 1.0, capacity=500),
+        ]
+        WeightedRandomRouting(small_pipeline).build(workers, demand_qps=100.0)
+        utilisations = {w.worker_id: w.incoming_qps / w.capacity_qps for w in workers if w.task == "detect"}
+        assert utilisations["d0"] == pytest.approx(utilisations["d1"])
+
+
+class TestPowerOfTwo:
+    def test_skews_toward_spare_capacity(self, small_pipeline):
+        workers = [
+            worker("d0", "detect", "detect_big", 1.0, capacity=100),
+            worker("d1", "detect", "detect_small", 0.8, capacity=300),
+            worker("c0", "classify", "classify_big", 1.0, capacity=500),
+        ]
+        plan = PowerOfTwoChoicesRouting(small_pipeline).build(workers, demand_qps=40.0)
+        probabilities = frontend_probabilities(plan, "detect")
+        # n=2: the worker with more spare capacity wins a uniform pair draw
+        # with probability 3/4.
+        assert probabilities["d1"] == pytest.approx(0.75)
+        assert probabilities["d0"] == pytest.approx(0.25)
+
+    def test_saturation_spills_to_other_workers(self, small_pipeline):
+        workers = [
+            worker("d0", "detect", "detect_big", 1.0, capacity=10),
+            worker("d1", "detect", "detect_small", 0.8, capacity=200),
+            worker("c0", "classify", "classify_big", 1.0, capacity=500),
+        ]
+        plan = PowerOfTwoChoicesRouting(small_pipeline).build(workers, demand_qps=100.0)
+        probabilities = frontend_probabilities(plan, "detect")
+        # d0's p2c share exceeds its capacity; overflow lands on d1.
+        assert probabilities["d0"] == pytest.approx(0.1)
+        assert probabilities["d1"] == pytest.approx(0.9)
+        assert sum(probabilities.values()) == pytest.approx(1.0)
+
+
+class TestSharedTraversal:
+    @pytest.mark.parametrize("name", ["least_loaded", "weighted_random", "power_of_two"])
+    def test_downstream_demand_propagates_with_factors(self, small_pipeline, name):
+        # detect_big has factor 2.0: 10 qps in -> 20 qps toward classify.
+        workers = [
+            worker("d0", "detect", "detect_big", 1.0, capacity=50),
+            worker("c0", "classify", "classify_big", 1.0, capacity=15),
+            worker("c1", "classify", "classify_small", 0.85, capacity=100),
+        ]
+        plan = make_routing_policy(name, small_pipeline).build(workers, demand_qps=10.0)
+        table = plan.worker_tables["d0"]
+        assert table.routed_fraction("classify") == pytest.approx(1.0)
+        placed = sum(w.incoming_qps for w in workers if w.task == "classify")
+        assert placed == pytest.approx(20.0)
+
+    @pytest.mark.parametrize("name", ["least_loaded", "weighted_random", "power_of_two"])
+    def test_unplaced_fraction_and_backups(self, small_pipeline, name):
+        workers = [
+            worker("d0", "detect", "detect_big", 1.0, capacity=5),
+            worker("c0", "classify", "classify_big", 1.0, capacity=100),
+        ]
+        plan = make_routing_policy(name, small_pipeline).build(workers, demand_qps=50.0)
+        assert plan.unplaced_fraction["detect"] == pytest.approx(0.9)
+        backups = plan.backups_for("classify")
+        assert backups and all(b.leftover_capacity_qps > 0 for b in backups)
+
+    @pytest.mark.parametrize("name", ["least_loaded", "weighted_random", "power_of_two"])
+    def test_branching_pipeline_routes_both_children(self, branching_pipeline, name):
+        workers = [
+            worker("d0", "detect", "det_hi", 1.0, capacity=100),
+            worker("a0", "classify_a", "clsa_hi", 1.0, capacity=300),
+            worker("b0", "classify_b", "clsb_hi", 1.0, capacity=300),
+        ]
+        plan = make_routing_policy(name, branching_pipeline).build(workers, demand_qps=20.0)
+        assert set(plan.worker_tables["d0"].destination_tasks()) == {"classify_a", "classify_b"}
+
+    @pytest.mark.parametrize("name", sorted(ROUTING_POLICIES))
+    def test_policies_drive_a_full_simulation(self, name):
+        from repro.scenarios import get_scenario
+
+        spec = get_scenario("smoke").with_overrides(control_overrides={"routing_policy": name})
+        summary = spec.run(seed=0)
+        assert summary.completed_requests > 0
+        assert summary.slo_violation_ratio < 0.5

@@ -1,0 +1,162 @@
+"""Property-style invariants of RoutingTable / RoutingPlan (hypothesis).
+
+Invariants every routing policy must uphold, whatever the worker fleet and
+demand drawn:
+
+* per-destination routing probabilities are non-negative and sum to <= 1
+  (a sum below 1 means the plan could not place part of the traffic);
+* when the plan is saturated the compiled samplers renormalise, so queries
+  still route somewhere (``choose`` never returns ``None`` while any
+  probability mass exists) and only to listed workers;
+* no worker is routed more than its capacity;
+* backup tables only advertise workers with genuinely spare capacity, never
+  more than the worker physically has.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.control.routing import ROUTING_POLICIES, make_routing_policy
+from repro.core.load_balancer import MostAccurateFirst, RoutingEntry, RoutingTable, WorkerState
+from repro.core.pipeline import Edge, Pipeline, Task
+from repro.core.profiles import ModelVariant, ProfileRegistry
+
+EPS = 1e-9
+
+
+def chain_pipeline_for(factor: float) -> Pipeline:
+    registry = ProfileRegistry()
+    for task, variants in (("stage0", ("v0a", "v0b")), ("stage1", ("v1a", "v1b"))):
+        for index, name in enumerate(variants):
+            registry.register(
+                task,
+                ModelVariant(
+                    name=name,
+                    family=task,
+                    accuracy=1.0 - 0.15 * index,
+                    base_latency_ms=2.0,
+                    per_item_latency_ms=3.0 + index,
+                    multiplicative_factor=factor if task == "stage0" else 1.0,
+                    batch_sizes=(1, 2, 4, 8),
+                ),
+            )
+    return Pipeline(
+        "invariants",
+        [Task("stage0"), Task("stage1")],
+        [Edge("stage0", "stage1", 1.0)],
+        registry,
+        latency_slo_ms=300.0,
+    )
+
+
+worker_strategy = st.tuples(
+    st.sampled_from(["a", "b"]),  # variant suffix per stage
+    st.floats(min_value=1.0, max_value=200.0),  # capacity
+    st.floats(min_value=1.0, max_value=50.0),  # latency
+)
+
+
+@st.composite
+def fleets(draw):
+    factor = draw(st.floats(min_value=0.5, max_value=3.0))
+    pipeline = chain_pipeline_for(factor)
+    workers = []
+    for stage in ("stage0", "stage1"):
+        count = draw(st.integers(min_value=1, max_value=5))
+        for index in range(count):
+            suffix, capacity, latency = draw(worker_strategy)
+            variant_name = f"v{stage[-1]}{suffix}"
+            variant = pipeline.registry.variant(variant_name)
+            workers.append(
+                WorkerState(
+                    worker_id=f"{stage}/{index}",
+                    task=stage,
+                    variant_name=variant_name,
+                    accuracy=variant.accuracy,
+                    capacity_qps=capacity,
+                    latency_ms=latency,
+                    batch_size=4,
+                )
+            )
+    demand = draw(st.floats(min_value=0.1, max_value=500.0))
+    policy_name = draw(st.sampled_from(sorted(ROUTING_POLICIES)))
+    return pipeline, workers, demand, policy_name
+
+
+def iter_tables(plan):
+    yield plan.frontend_table
+    yield from plan.worker_tables.values()
+
+
+@settings(max_examples=60, deadline=None)
+@given(fleets())
+def test_probabilities_nonnegative_and_sum_at_most_one(case):
+    pipeline, workers, demand, policy_name = case
+    plan = make_routing_policy(policy_name, pipeline).build(workers, demand)
+    for table in iter_tables(plan):
+        for task in table.destination_tasks():
+            entries = table.entries(task)
+            assert all(e.probability >= -EPS for e in entries)
+            assert table.routed_fraction(task) <= 1.0 + 1e-6
+
+    for task, fraction in plan.unplaced_fraction.items():
+        assert -EPS <= fraction <= 1.0 + EPS
+
+
+@settings(max_examples=60, deadline=None)
+@given(fleets())
+def test_no_worker_routed_beyond_capacity(case):
+    pipeline, workers, demand, policy_name = case
+    make_routing_policy(policy_name, pipeline).build(workers, demand)
+    for worker in workers:
+        assert worker.incoming_qps <= worker.capacity_qps * (1 + 1e-6) + EPS
+        assert worker.remaining_capacity_qps >= -1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(fleets())
+def test_saturated_plans_renormalise_when_sampled(case):
+    pipeline, workers, demand, policy_name = case
+    plan = make_routing_policy(policy_name, pipeline).build(workers, demand)
+    rng = np.random.default_rng(0)
+    for table in iter_tables(plan):
+        for task in table.destination_tasks():
+            fraction = table.routed_fraction(task)
+            listed = {e.worker_id for e in table.entries(task)}
+            if fraction > EPS:
+                # Renormalisation: even under-provisioned tables always route.
+                for _ in range(10):
+                    entry = table.choose(task, rng)
+                    assert entry is not None and entry.worker_id in listed
+
+
+@settings(max_examples=60, deadline=None)
+@given(fleets())
+def test_backup_tables_only_contain_spare_capacity(case):
+    pipeline, workers, demand, policy_name = case
+    plan = make_routing_policy(policy_name, pipeline).build(workers, demand)
+    capacity_by_id = {w.worker_id: w.capacity_qps for w in workers}
+    for task, backups in plan.backup_tables.items():
+        for backup in backups:
+            assert backup.task == task
+            assert backup.leftover_capacity_qps > EPS
+            assert backup.leftover_capacity_qps <= capacity_by_id[backup.worker_id] + EPS
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    weights=st.lists(st.floats(min_value=1e-6, max_value=10.0), min_size=1, max_size=8),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_compiled_sampler_matches_searchsorted_reference(weights, seed):
+    """The bisect hot path and the NumPy reference pick identical indices."""
+    table = RoutingTable()
+    for index, weight in enumerate(weights):
+        table.add("t", RoutingEntry(f"w{index}", weight, 1.0, 10.0))
+    array = np.asarray(weights)
+    cumulative = np.cumsum(array / array.sum())
+    rng_a, rng_b = np.random.default_rng(seed), np.random.default_rng(seed)
+    for _ in range(50):
+        reference = min(int(np.searchsorted(cumulative, rng_a.random(), side="right")), len(weights) - 1)
+        assert table.choose("t", rng_b).worker_id == f"w{reference}"

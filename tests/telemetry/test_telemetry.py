@@ -1,0 +1,150 @@
+"""Tests for the telemetry subsystem (metrics, registry, simulator wiring)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.scenarios import SweepRunner, get_scenario
+from repro.telemetry import Counter, Gauge, Histogram, P2Quantile, TelemetryRegistry
+
+
+class TestPrimitives:
+    def test_counter_accumulates(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4.5)
+        assert counter.value == 5.5
+        assert counter.snapshot() == {"c": 5.5}
+
+    def test_gauge_tracks_value_and_peak(self):
+        gauge = Gauge("g")
+        gauge.set(3)
+        gauge.set(9)
+        gauge.set(2)
+        assert gauge.value == 2.0
+        assert gauge.snapshot() == {"g": 2.0, "g.peak": 9.0}
+
+    def test_unset_gauge_snapshot_is_zero(self):
+        assert Gauge("g").snapshot() == {"g": 0.0, "g.peak": 0.0}
+
+    def test_histogram_summary_stats(self):
+        histogram = Histogram("h")
+        for x in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(x)
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(10.0)
+        assert histogram.mean == pytest.approx(2.5)
+        assert histogram.min == 1.0 and histogram.max == 4.0
+        snapshot = histogram.snapshot()
+        assert snapshot["h.count"] == 4.0
+        assert "h.p50" in snapshot and "h.p99" in snapshot
+
+    def test_empty_histogram_is_nan(self):
+        histogram = Histogram("h")
+        assert math.isnan(histogram.mean)
+        assert math.isnan(histogram.snapshot()["h.p50"])
+
+
+class TestP2Quantile:
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.99])
+    def test_tracks_normal_distribution(self, q):
+        rng = np.random.default_rng(7)
+        samples = rng.normal(100.0, 15.0, size=20000)
+        estimator = P2Quantile(q)
+        for x in samples:
+            estimator.observe(x)
+        exact = float(np.quantile(samples, q))
+        spread = samples.max() - samples.min()
+        assert abs(estimator.value() - exact) / spread < 0.02
+
+    def test_small_sample_fallback_is_exact_order_statistic(self):
+        estimator = P2Quantile(0.5)
+        for x in (5.0, 1.0, 3.0):
+            estimator.observe(x)
+        assert estimator.value() == 3.0
+
+    def test_invalid_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+
+class TestRegistry:
+    def test_create_or_get_returns_same_instance(self):
+        registry = TelemetryRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert len(registry) == 1
+
+    def test_type_mismatch_rejected(self):
+        registry = TelemetryRegistry()
+        registry.counter("a")
+        with pytest.raises(TypeError):
+            registry.gauge("a")
+
+    def test_snapshot_is_flat_and_sorted(self):
+        registry = TelemetryRegistry()
+        registry.counter("z.count").inc()
+        registry.gauge("a.level").set(2)
+        snapshot = registry.snapshot()
+        assert snapshot == {"a.level": 2.0, "a.level.peak": 2.0, "z.count": 1.0}
+        assert all(isinstance(v, float) for v in snapshot.values())
+
+
+class TestSimulationWiring:
+    @pytest.fixture(scope="class")
+    def smoke_summary(self):
+        return get_scenario("smoke").run(seed=0)
+
+    def test_summary_carries_telemetry_snapshot(self, smoke_summary):
+        telemetry = smoke_summary.telemetry
+        assert telemetry  # populated by ServingSimulation.run
+        # Frontend, worker, request and control-plane metrics all present.
+        for key in (
+            "frontend.requests",
+            "worker.batches",
+            "queries.forwarded",
+            "requests.completed",
+            "requests.latency_ms.count",
+            "control.plan_changes",
+            "control.routing_refreshes",
+            "cluster.active_workers.peak",
+        ):
+            assert key in telemetry, key
+
+    def test_telemetry_consistent_with_summary(self, smoke_summary):
+        telemetry = smoke_summary.telemetry
+        assert telemetry["frontend.requests"] == float(smoke_summary.total_requests)
+        assert telemetry["requests.completed"] == float(smoke_summary.completed_requests)
+        assert telemetry["requests.dropped"] == float(smoke_summary.dropped_requests)
+        # The latency histogram covers every finished request that produced a
+        # result (completed + late); the summary's mean_latency_ms covers
+        # completed requests only.
+        assert telemetry["requests.latency_ms.count"] == float(
+            smoke_summary.completed_requests + smoke_summary.late_requests
+        )
+        assert (
+            telemetry["requests.latency_ms.min"]
+            <= smoke_summary.mean_latency_ms
+            <= telemetry["requests.latency_ms.max"]
+        )
+
+    def test_baseline_control_planes_record_telemetry(self):
+        summary = get_scenario("smoke").with_overrides(system="proteus").run(seed=0)
+        assert summary.telemetry["control.routing_refreshes"] > 0
+
+
+class TestSweepAggregation:
+    def test_telemetry_aggregated_across_seeds(self):
+        runner = SweepRunner(parallel=False)
+        result = runner.run(["smoke"], seeds=[0, 1])
+        stats = result.telemetry("queries.forwarded")["smoke"]
+        assert stats.n == 2
+        values = [r.summary.telemetry["queries.forwarded"] for r in result.records]
+        assert stats.mean == pytest.approx(sum(values) / 2)
+        assert "queries.forwarded" in result.telemetry_names()
+
+    def test_missing_metrics_aggregate_as_nan_dropped(self):
+        runner = SweepRunner(parallel=False)
+        result = runner.run(["smoke"], seeds=[0])
+        stats = result.telemetry("no.such.metric")["smoke"]
+        assert stats.n == 0 and math.isnan(stats.mean)
