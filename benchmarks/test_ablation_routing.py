@@ -18,6 +18,7 @@ import time
 import numpy as np
 import pytest
 
+from benchmarks import perf_record
 from benchmarks.conftest import run_once
 from repro.core.allocation import AllocationProblem
 from repro.core.load_balancer import MostAccurateFirst, workers_from_plan
@@ -154,5 +155,15 @@ def test_compiled_dispatch_speedup_over_seed_table():
     print(
         f"\nrouting dispatch: seed {seed_rate / 1e6:.2f}M/s, compiled {compiled_rate / 1e6:.2f}M/s "
         f"({speedup:.1f}x), batched {batch_rate / 1e6:.2f}M/s, alias {alias_rate / 1e6:.2f}M/s"
+    )
+    perf_record.update(
+        "routing_dispatch",
+        {
+            "seed_draws_per_s": seed_rate,
+            "compiled_draws_per_s": compiled_rate,
+            "batched_draws_per_s": batch_rate,
+            "alias_draws_per_s": alias_rate,
+            "scalar_speedup": speedup,
+        },
     )
     assert speedup >= 3.0, f"compiled dispatch only {speedup:.2f}x the seed rate"

@@ -12,8 +12,11 @@ Two further cases quantify the warm-start and solution-cache paths of
 periods.
 """
 
+import time
+
 import pytest
 
+from benchmarks import perf_record
 from repro.core.allocation import build_accuracy_scaling_model, AllocationProblem
 from repro.solver import (
     BranchAndBoundSolver,
@@ -77,6 +80,23 @@ def test_solver_warm_started_bnb(benchmark, ablation_model):
     )
     assert solution.is_optimal
     assert solution.objective == pytest.approx(cold.objective, rel=1e-6)
+
+
+def test_solver_ablation_record(ablation_model):
+    """One timed pass per backend, merged into the machine-readable record."""
+    backends = {
+        "scipy_highs": ScipyMilpBackend().solve,
+        "branch_and_bound": BranchAndBoundSolver(max_nodes=5000, time_limit=30.0).solve,
+        "greedy_rounding": GreedyRoundingSolver().solve,
+    }
+    values = {}
+    for name, solve_fn in backends.items():
+        start = time.perf_counter()
+        solution = solve_fn(ablation_model)
+        values[f"{name}_runtime_s"] = time.perf_counter() - start
+        values[f"{name}_objective"] = solution.objective
+        assert solution.is_optimal
+    perf_record.update("solver_ablation", values)
 
 
 def test_solver_solution_cache_hit(benchmark, ablation_model):

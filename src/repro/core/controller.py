@@ -59,7 +59,12 @@ class ControllerConfig:
     #: routing-table generation algorithm (see repro.control.routing)
     routing_policy: str = "most_accurate_first"
     solver_backend: str = "auto"
-    #: extra keyword options for the MILP backend (e.g. ``{"time_limit": 30.0}``)
+    #: extra keyword options for the MILP backend (e.g. ``{"time_limit": 30.0}``).
+    #: For machine-load-independent (reproducible) plans use deterministic
+    #: work limits instead of wall clocks: ``{"time_limit": None,
+    #: "node_limit": 10_000}`` on the default SciPy/HiGHS backend, or
+    #: ``{"time_limit": None, "max_nodes": 10_000, "max_lp_iterations":
+    #: 200_000}`` with ``solver_backend="bnb"``.
     solver_options: Optional[Dict[str, object]] = None
     #: seed each control period's MILP with the previous allocation's solution
     solver_warm_start: bool = True

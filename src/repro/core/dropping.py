@@ -73,24 +73,34 @@ class DropDecision:
         return self.action is DropAction.DROP
 
 
+#: shared no-op decisions: ``on_arrival``/``on_forward`` run once per query on
+#: the simulator's hot path and almost always decide "carry on", so the
+#: policies return these frozen singletons instead of allocating a fresh
+#: DropDecision per query (drop/reroute decisions still build one, they carry
+#: a reason/target)
+PROCESS_DECISION = DropDecision(DropAction.PROCESS)
+FORWARD_DECISION = DropDecision(DropAction.FORWARD)
+
+
 class DropPolicy:
     """Base class: keep every request on its planned route."""
 
     name = "base"
 
+    # Arguments are positional-friendly (no keyword-only ``*``): the two hooks
+    # run once per query on the simulator's hot path, where positional calls
+    # measurably beat keyword ones; existing keyword callers are unaffected.
     def on_arrival(
         self,
-        *,
         is_last_task: bool,
         remaining_slo_ms: float,
         expected_processing_ms: float,
     ) -> DropDecision:
         """Decision made when a request arrives at a worker, before queueing."""
-        return DropDecision(DropAction.PROCESS)
+        return PROCESS_DECISION
 
     def on_forward(
         self,
-        *,
         time_in_task_ms: float,
         budget_ms: float,
         planned_entry: Optional[RoutingEntry],
@@ -99,7 +109,7 @@ class DropPolicy:
         rng: np.random.Generator,
     ) -> DropDecision:
         """Decision made when a request finishes a task and is about to be forwarded."""
-        return DropDecision(DropAction.FORWARD)
+        return FORWARD_DECISION
 
 
 class NoEarlyDropping(DropPolicy):
@@ -113,10 +123,10 @@ class LastTaskDropping(DropPolicy):
 
     name = "last_task_dropping"
 
-    def on_arrival(self, *, is_last_task: bool, remaining_slo_ms: float, expected_processing_ms: float) -> DropDecision:
+    def on_arrival(self, is_last_task: bool, remaining_slo_ms: float, expected_processing_ms: float) -> DropDecision:
         if is_last_task and remaining_slo_ms < expected_processing_ms:
             return DropDecision(DropAction.DROP, reason="leftover budget below last-task processing time")
-        return DropDecision(DropAction.PROCESS)
+        return PROCESS_DECISION
 
 
 class PerTaskDropping(DropPolicy):
@@ -126,7 +136,6 @@ class PerTaskDropping(DropPolicy):
 
     def on_forward(
         self,
-        *,
         time_in_task_ms: float,
         budget_ms: float,
         planned_entry: Optional[RoutingEntry],
@@ -136,14 +145,14 @@ class PerTaskDropping(DropPolicy):
     ) -> DropDecision:
         if time_in_task_ms > budget_ms:
             return DropDecision(DropAction.DROP, reason="per-task latency budget exceeded")
-        return DropDecision(DropAction.FORWARD)
+        return FORWARD_DECISION
 
-    def on_arrival(self, *, is_last_task: bool, remaining_slo_ms: float, expected_processing_ms: float) -> DropDecision:
+    def on_arrival(self, is_last_task: bool, remaining_slo_ms: float, expected_processing_ms: float) -> DropDecision:
         # A request whose remaining budget is already negative can never meet
         # its SLO; dropping it on arrival frees the queue slot.
         if remaining_slo_ms <= 0:
             return DropDecision(DropAction.DROP, reason="remaining SLO budget exhausted")
-        return DropDecision(DropAction.PROCESS)
+        return PROCESS_DECISION
 
 
 class OpportunisticRerouting(DropPolicy):
@@ -166,7 +175,6 @@ class OpportunisticRerouting(DropPolicy):
 
     def on_forward(
         self,
-        *,
         time_in_task_ms: float,
         budget_ms: float,
         planned_entry: Optional[RoutingEntry],
@@ -176,16 +184,16 @@ class OpportunisticRerouting(DropPolicy):
     ) -> DropDecision:
         overrun_ms = time_in_task_ms - budget_ms
         if overrun_ms <= 0:
-            return DropDecision(DropAction.FORWARD)
+            return FORWARD_DECISION
         if planned_entry is None:
             # The request just finished its last task; nothing to reroute.
-            return DropDecision(DropAction.FORWARD)
+            return FORWARD_DECISION
         # The request is behind schedule.  Check whether the planned downstream
         # worker can still make the deadline (execution plus the standard
         # waiting allowance); if yes, no intervention is needed.
         planned_needed_ms = planned_entry.latency_ms * self.queue_slack
         if remaining_slo_ms >= planned_needed_ms:
-            return DropDecision(DropAction.FORWARD)
+            return FORWARD_DECISION
         # Behind schedule *and* the planned worker is too slow: look for a
         # spare (leftover-capacity) worker fast enough to recover the deficit.
         candidates: List[BackupEntry] = [
@@ -200,10 +208,10 @@ class OpportunisticRerouting(DropPolicy):
         chosen = best[int(rng.integers(len(best)))] if len(best) > 1 else best[0]
         return DropDecision(DropAction.REROUTE, target=chosen, reason="rerouted to faster spare worker")
 
-    def on_arrival(self, *, is_last_task: bool, remaining_slo_ms: float, expected_processing_ms: float) -> DropDecision:
+    def on_arrival(self, is_last_task: bool, remaining_slo_ms: float, expected_processing_ms: float) -> DropDecision:
         if is_last_task and remaining_slo_ms < expected_processing_ms:
             return DropDecision(DropAction.DROP, reason="cannot finish within SLO even if executed immediately")
-        return DropDecision(DropAction.PROCESS)
+        return PROCESS_DECISION
 
 
 #: Policy registry used by the configuration surface and Figure 7's ablation.

@@ -158,6 +158,23 @@ class RoutingTable:
         _, entries, _, sampler = compiled
         return [entries[i] for i in sampler.sample_indices(rng, size, method=method)]
 
+    def choose_batch_indices(
+        self, destination_task: str, rng: np.random.Generator, size: int, method: str = "alias"
+    ) -> Optional[Tuple[Tuple[RoutingEntry, ...], np.ndarray]]:
+        """Batched draw returning ``(entries, indices)`` instead of entry objects.
+
+        This is the batched-dispatch hot path: the caller resolves each
+        *distinct* entry once (e.g. the physical worker behind each routing
+        row) and then walks the index array, instead of materialising one
+        entry object reference per query.  Returns ``None`` when the table
+        has no (positive-probability) rows for the task.
+        """
+        compiled = self._compiled.get(destination_task) or self._compile(destination_task)
+        if compiled is None:
+            return None
+        _, entries, _, sampler = compiled
+        return entries, sampler.sample_indices(rng, size, method=method)
+
     def is_empty(self) -> bool:
         return not self._entries
 

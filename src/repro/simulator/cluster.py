@@ -82,11 +82,16 @@ class Cluster:
 
         # Apply assignments.
         newly_loaded = 0
+        child_edges_by_task: Dict[str, tuple] = {}
         for logical_id, physical in new_map.items():
             state = desired[logical_id]
             variant = pipeline.registry.variant(state.variant_name)
             previous = physical.assignment.variant.name if physical.assignment else None
             budget_slack = getattr(getattr(self.sim, "config", None), "budget_slack", 2.0)
+            child_edges = child_edges_by_task.get(state.task)
+            if child_edges is None:
+                child_edges = tuple(pipeline.children(state.task))
+                child_edges_by_task[state.task] = child_edges
             assignment = WorkerAssignment(
                 logical_id=logical_id,
                 task=state.task,
@@ -94,6 +99,7 @@ class Cluster:
                 batch_size=state.batch_size,
                 latency_budget_ms=state.latency_ms * budget_slack,
                 expected_latency_ms=state.latency_ms,
+                child_edges=child_edges,
             )
             physical.assign(assignment, now_s)
             if previous != variant.name:

@@ -106,6 +106,10 @@ class MetricsCollector:
         self.interval_s = float(interval_s)
         self.max_pipeline_accuracy = float(max_pipeline_accuracy)
         self.intervals: Dict[int, IntervalMetrics] = {}
+        #: last interval touched — consecutive recordings almost always land
+        #: in the same interval, so this short-circuits the dict lookup
+        self._last_index: Optional[int] = None
+        self._last_interval: Optional[IntervalMetrics] = None
         self._latencies_ms: List[float] = []
         self.total_requests = 0
         self.completed_requests = 0
@@ -128,15 +132,59 @@ class MetricsCollector:
     # -- recording -----------------------------------------------------------
     def _interval(self, time_s: float) -> IntervalMetrics:
         index = int(time_s // self.interval_s)
+        if index == self._last_index:
+            return self._last_interval
         interval = self.intervals.get(index)
         if interval is None:
             interval = IntervalMetrics(start_s=index * self.interval_s, cluster_size=self.cluster_size)
             self.intervals[index] = interval
+        self._last_index = index
+        self._last_interval = interval
         return interval
 
     def record_arrival(self, time_s: float) -> None:
         self.total_requests += 1
         self._interval(time_s).demand += 1
+
+    def record_arrivals(self, times_s) -> None:
+        """Record a whole chunk of arrivals (``times_s`` sorted ascending).
+
+        Equivalent to calling :meth:`record_arrival` once per element, but
+        bins the chunk into reporting intervals with a single
+        ``np.searchsorted`` over the interval edges instead of one floor
+        division and dict lookup per query — the metrics half of the batched
+        dispatch mode's frontend hot path.
+        """
+        times = np.asarray(times_s, dtype=float)
+        count = times.shape[0]
+        if count == 0:
+            return
+        self.total_requests += count
+        interval_s = self.interval_s
+        intervals = self.intervals
+        cluster_size = self.cluster_size
+        first = int(times[0] // interval_s)
+        last = int(times[-1] // interval_s)
+        if first == last:
+            interval = intervals.get(first)
+            if interval is None:
+                interval = IntervalMetrics(start_s=first * interval_s, cluster_size=cluster_size)
+                intervals[first] = interval
+            interval.demand += count
+            return
+        edges = np.arange(first + 1, last + 1, dtype=float) * interval_s
+        cuts = np.searchsorted(times, edges, side="left")
+        bounds = [0, *cuts.tolist(), count]
+        for offset in range(last - first + 1):
+            demand = bounds[offset + 1] - bounds[offset]
+            if demand == 0:
+                continue
+            index = first + offset
+            interval = intervals.get(index)
+            if interval is None:
+                interval = IntervalMetrics(start_s=index * interval_s, cluster_size=cluster_size)
+                intervals[index] = interval
+            interval.demand += demand
 
     def record_active_workers(self, time_s: float, active_workers: int) -> None:
         """Record the worker count in use at (the interval containing) ``time_s``."""
@@ -144,48 +192,105 @@ class MetricsCollector:
         interval.active_workers = max(interval.active_workers, int(active_workers))
 
     def record_request_finished(self, request: Request) -> None:
-        if not request.is_finished or request.completion_s is None:
+        completion_s = request.completion_s
+        if not request.is_finished or completion_s is None:
             raise ValueError("request has not finished yet")
-        interval = self._interval(request.completion_s)
+        interval = self._interval(completion_s)
         telemetry = self.telemetry
+        # request.latency_ms inlined (completion_s is known to be set here).
+        latency_ms = (completion_s - request.arrival_s) * 1000.0
         if request.status is RequestStatus.COMPLETED:
             self.completed_requests += 1
             interval.completed += 1
             if telemetry is not None:
-                self._tele_completed.inc()
-                if request.latency_ms is not None:
-                    self._tele_latency.observe(request.latency_ms)
+                self._tele_completed.value += 1
+                self._tele_latency.observe(latency_ms)
             # Requests that legitimately produced no sink results (e.g. zero
             # objects detected in the frame) completed successfully but have no
             # accuracy to report, so they are excluded from the accuracy average.
             if request.accuracy_count:
-                interval.accuracy_sum += request.mean_accuracy
+                mean_accuracy = request.mean_accuracy
+                interval.accuracy_sum += mean_accuracy
                 interval.accuracy_count += 1
-                self._accuracy_sum += request.mean_accuracy
+                self._accuracy_sum += mean_accuracy
                 self._accuracy_count += 1
-            if request.latency_ms is not None:
-                self._latencies_ms.append(request.latency_ms)
+            self._latencies_ms.append(latency_ms)
         else:
             interval.violations += 1
             if request.status is RequestStatus.DROPPED:
                 self.dropped_requests += 1
                 interval.dropped += 1
                 if telemetry is not None:
-                    self._tele_dropped.inc()
+                    self._tele_dropped.value += 1
             else:
                 self.late_requests += 1
                 interval.late += 1
                 if telemetry is not None:
-                    self._tele_late.inc()
-                    if request.latency_ms is not None:
-                        self._tele_latency.observe(request.latency_ms)
+                    self._tele_late.value += 1
+                    self._tele_latency.observe(latency_ms)
                 # Late requests still produced results; their accuracy counts
                 # toward the achieved-accuracy average.
                 if request.accuracy_count:
-                    interval.accuracy_sum += request.mean_accuracy
+                    mean_accuracy = request.mean_accuracy
+                    interval.accuracy_sum += mean_accuracy
                     interval.accuracy_count += 1
-                    self._accuracy_sum += request.mean_accuracy
+                    self._accuracy_sum += mean_accuracy
                     self._accuracy_count += 1
+
+    def record_sink_batch(self, queries, completion_times) -> None:
+        """Bulk sink-return bookkeeping for the batched dispatch mode.
+
+        Each query must be the *sole* derived query of its request with no
+        prior sink results or drops (the caller checks this — always true on
+        single-task pipelines): the request completes here with path accuracy
+        ``query.accuracy_so_far``, so per-request status classification plus
+        all counter/histogram updates collapse into one tight loop and a few
+        bulk increments.  Equivalent to ``record_sink_completion`` +
+        :meth:`record_request_finished` per query.
+        """
+        completed = 0
+        late = 0
+        all_latencies = []
+        completed_latencies = self._latencies_ms
+        lat_append = all_latencies.append
+        done_append = completed_latencies.append
+        accuracy_total = 0.0
+        status_completed = RequestStatus.COMPLETED
+        status_late = RequestStatus.LATE
+        _interval = self._interval
+        for query, completion_s in zip(queries, completion_times):
+            request = query.request
+            accuracy = query.accuracy_so_far
+            request.sink_results = 1
+            request.accuracy_sum = accuracy
+            request.accuracy_count = 1
+            request.outstanding = 0
+            request.completion_s = completion_s
+            latency_ms = (completion_s - request.arrival_s) * 1000.0
+            lat_append(latency_ms)
+            accuracy_total += accuracy
+            interval = _interval(completion_s)
+            if completion_s <= request.deadline_s + 1e-9:
+                request.status = status_completed
+                interval.completed += 1
+                completed += 1
+                done_append(latency_ms)
+            else:
+                request.status = status_late
+                interval.violations += 1
+                interval.late += 1
+                late += 1
+            interval.accuracy_sum += accuracy
+            interval.accuracy_count += 1
+        self.completed_requests += completed
+        self.late_requests += late
+        count = completed + late
+        self._accuracy_sum += accuracy_total
+        self._accuracy_count += count
+        if self.telemetry is not None:
+            self._tele_completed.value += completed
+            self._tele_late.value += late
+            self._tele_latency.observe_many(all_latencies)
 
     # -- summaries ------------------------------------------------------------
     @property

@@ -23,13 +23,44 @@ class NetworkModel:
             raise ValueError("latency and jitter must be non-negative")
         self.latency_ms = float(latency_ms)
         self.jitter_ms = float(jitter_ms)
+        #: precomputed linear transform so the scalar hot path draws with
+        #: ``rng.random()`` (no Generator.uniform broadcasting overhead);
+        #: ``low + span * random()`` is bit-identical to
+        #: ``rng.uniform(-jitter, jitter)`` and consumes the same one uniform,
+        #: keeping simulations byte-identical with previous releases
+        self._jitter_low = -self.jitter_ms
+        self._jitter_span = self.jitter_ms - self._jitter_low
 
     def sample_latency_ms(self, rng: Optional[np.random.Generator] = None) -> float:
         """One hop's communication latency in milliseconds."""
         if self.jitter_ms <= 0 or rng is None:
             return self.latency_ms
-        return max(0.0, self.latency_ms + float(rng.uniform(-self.jitter_ms, self.jitter_ms)))
+        jitter = self._jitter_low + self._jitter_span * rng.random()
+        value = self.latency_ms + jitter
+        return value if value > 0.0 else 0.0
 
     def sample_delay_s(self, rng: Optional[np.random.Generator] = None) -> float:
-        """One hop's communication latency in seconds."""
-        return self.sample_latency_ms(rng) / 1000.0
+        """One hop's communication latency in seconds.
+
+        Inlines :meth:`sample_latency_ms` (identical float operations, so
+        identical values) — this runs once per network hop on the simulator's
+        hot path and the extra call is measurable.
+        """
+        if self.jitter_ms <= 0 or rng is None:
+            return self.latency_ms / 1000.0
+        value = self.latency_ms + (self._jitter_low + self._jitter_span * rng.random())
+        return (value if value > 0.0 else 0.0) / 1000.0
+
+    def sample_delays_s(self, rng: Optional[np.random.Generator], size: int) -> np.ndarray:
+        """``size`` hop latencies in seconds, drawn in one vectorized call.
+
+        The batched-dispatch hot path samples a whole arrival burst's network
+        delays at once; per-element values follow the same distribution as
+        :meth:`sample_delay_s` (constant when jitter is disabled, clipped
+        uniform jitter otherwise), but consume the RNG stream in bulk.
+        """
+        if self.jitter_ms <= 0 or rng is None:
+            return np.full(size, self.latency_ms / 1000.0)
+        delays = self.latency_ms + rng.uniform(-self.jitter_ms, self.jitter_ms, size=size)
+        np.maximum(delays, 0.0, out=delays)
+        return delays / 1000.0

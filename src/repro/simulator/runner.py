@@ -22,11 +22,17 @@ from repro.core.load_balancer import BackupEntry, RoutingPlan, RoutingTable
 from repro.core.pipeline import Pipeline
 from repro.simulator.cluster import Cluster
 from repro.simulator.engine import SimulationEngine
-from repro.simulator.events import ArrivalEvent, CallbackEvent, ControlTickEvent, DeliveryEvent
+from repro.simulator.events import (
+    ArrivalBurstEvent,
+    ArrivalEvent,
+    CallbackEvent,
+    ControlTickEvent,
+    DeliveryEvent,
+)
 from repro.simulator.frontend import Frontend
 from repro.simulator.metrics import MetricsCollector, SimulationSummary
 from repro.simulator.network import NetworkModel
-from repro.simulator.query import IntermediateQuery, Request
+from repro.simulator.query import IntermediateQuery, Request, RequestStatus
 from repro.simulator.worker import SimWorker
 from repro.telemetry import TelemetryRegistry
 from repro.workloads.arrivals import ArrivalProcess, make_arrival_process
@@ -61,6 +67,11 @@ class SimulationConfig:
     arrival_process: str = "poisson"
     #: constructor parameters of the arrival process (see workloads.arrivals)
     arrival_params: Dict[str, object] = field(default_factory=dict)
+    #: ``"scalar"`` dispatches one ArrivalEvent per query (the default;
+    #: RNG-stream-identical to every previous release), ``"batched"`` routes
+    #: whole arrival chunks through one vectorized draw per control interval
+    #: (opt-in; statistically equivalent but on a different RNG stream)
+    dispatch_mode: str = "scalar"
     drop_policy: str = "opportunistic_rerouting"
     content_mode: str = "poisson"
     network_latency_ms: float = 2.0
@@ -92,6 +103,14 @@ class ServingSimulation:
         self.control_plane = control_plane
         self.trace = trace
         self.config = config or SimulationConfig()
+        if self.config.dispatch_mode not in ("scalar", "batched"):
+            raise ValueError(
+                f"unknown dispatch_mode {self.config.dispatch_mode!r}; expected 'scalar' or 'batched'"
+            )
+        #: batched dispatch restructures the RNG-consuming hot paths (frontend
+        #: routing, network delays, sink returns) into vectorized draws;
+        #: scalar mode keeps the historical per-query stream bit-for-bit
+        self.batched_dispatch = self.config.dispatch_mode == "batched"
         self.engine = SimulationEngine()
         self.rng = np.random.default_rng(self.config.seed)
         self.network = NetworkModel(self.config.network_latency_ms, self.config.network_jitter_ms)
@@ -164,7 +183,10 @@ class ServingSimulation:
         self.engine.preload(
             [ControlTickEvent(float(second + 1) - 1e-6, self) for second in range(self.trace.duration_s)]
         )
-        self._preload_arrival_chunk()
+        if self.config.dispatch_mode == "batched":
+            self._preload_arrival_bursts()
+        else:
+            self._preload_arrival_chunk()
 
     def _preload_arrival_chunk(self) -> None:
         start = self._arrival_cursor
@@ -180,6 +202,39 @@ class ServingSimulation:
             # Refill at this chunk's last arrival: it is appended after that
             # arrival, so the FIFO tie-break runs it once the chunk is spent.
             events.append(CallbackEvent(chunk[-1], self._preload_arrival_chunk))
+        self.engine.preload(events)
+
+    def _preload_arrival_bursts(self) -> None:
+        """Batched dispatch: load one ArrivalBurstEvent per arrival chunk.
+
+        Chunk boundaries are the control-tick times (each tick fires just
+        before a whole trace second), so a burst can never overtake a routing
+        refresh or plan application: every query in a burst is routed with
+        exactly the state it would have seen under scalar dispatch.  Chunks
+        larger than :attr:`ARRIVAL_CHUNK` are split further (bounding the
+        per-burst delivery bulk-load).  Burst events hold *views* of the
+        whole-trace time array (~8 bytes/arrival), so even day-long traces
+        need no lazy refill path here.
+        """
+        times = self._arrival_times
+        total = times.shape[0]
+        if total == 0:
+            return
+        tick_times = np.arange(1, self.trace.duration_s + 1, dtype=float) - 1e-6
+        cut_list = np.searchsorted(times, tick_times, side="left").tolist()
+        events = []
+        start = 0
+        frontend = self.frontend
+        chunk_limit = self.ARRIVAL_CHUNK
+        for end in (*cut_list, total):
+            while end - start > chunk_limit:
+                segment = times[start : start + chunk_limit]
+                events.append(ArrivalBurstEvent(float(segment[0]), frontend, segment))
+                start += chunk_limit
+            if end > start:
+                segment = times[start:end]
+                events.append(ArrivalBurstEvent(float(segment[0]), frontend, segment))
+                start = end
         self.engine.preload(events)
 
     def _bootstrap(self) -> None:
@@ -254,16 +309,53 @@ class ServingSimulation:
         """A query finished the last task of its path; return the result to the Frontend."""
         delay = self.network.sample_delay_s(self.rng)
         completion_time = self.engine.now_s + delay
-        query.request.record_sink_completion(completion_time, query.accuracy_so_far)
-        self.check_request(query.request)
+        request = query.request
+        request.record_sink_completion(completion_time, query.accuracy_so_far)
+        if request.status is not RequestStatus.IN_FLIGHT:
+            self.metrics.record_request_finished(request)
+
+    def notify_sink_batch(self, batch: List[IntermediateQuery]) -> None:
+        """Batched-dispatch sink return: one vectorized delay draw per batch.
+
+        Every query of a completed batch leaves the sink at the same
+        simulation instant, so their return-hop delays can be drawn in one
+        vectorized call instead of one scalar draw per query.  Only the
+        batched dispatch mode uses this (it consumes the RNG stream
+        differently from per-query :meth:`notify_sink` calls); the completion
+        timestamps and bookkeeping are otherwise identical.
+        """
+        now = self.engine.now_s
+        delays = self.network.sample_delays_s(self.rng, len(batch))
+        metrics = self.metrics
+        # Struct-of-arrays fast path: when every request in the batch is a
+        # single-query request finishing right here (always true on
+        # single-task pipelines), the whole batch's bookkeeping collapses
+        # into MetricsCollector.record_sink_batch.
+        simple = True
+        for query in batch:
+            request = query.request
+            if request.outstanding != 1 or request.drops or request.sink_results:
+                simple = False
+                break
+        if simple:
+            metrics.record_sink_batch(batch, (now + delays).tolist())
+            return
+        in_flight = RequestStatus.IN_FLIGHT
+        for query, delay in zip(batch, delays.tolist()):
+            request = query.request
+            request.record_sink_completion(now + delay, query.accuracy_so_far)
+            if request.status is not in_flight:
+                metrics.record_request_finished(request)
 
     def notify_drop(self, query: IntermediateQuery, reason: str = "") -> None:
         self.dropped_queries += 1
         self._tele_dropped.value += 1
         if reason:
             self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1
-        query.request.record_drop(self.engine.now_s)
-        self.check_request(query.request)
+        request = query.request
+        request.record_drop(self.engine.now_s)
+        if request.status is not RequestStatus.IN_FLIGHT:
+            self.metrics.record_request_finished(request)
 
     def check_request(self, request: Request) -> None:
         if request.is_finished:

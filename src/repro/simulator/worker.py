@@ -21,9 +21,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional, TYPE_CHECKING
+from typing import Deque, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.dropping import DropAction
+from repro.core.pipeline import Edge
 from repro.core.profiles import ModelVariant
 from repro.simulator.events import BatchCompleteEvent, ModelReadyEvent, SwapCompleteEvent
 from repro.simulator.query import IntermediateQuery
@@ -50,6 +51,10 @@ class WorkerAssignment:
     batch_size: int
     latency_budget_ms: float
     expected_latency_ms: float
+    #: the task's outgoing pipeline edges, precomputed at plan application so
+    #: the per-query hot paths (enqueue, batch-complete dispatch) do not
+    #: re-list them; ``None`` falls back to a live pipeline lookup
+    child_edges: Optional[Tuple[Edge, ...]] = None
 
 
 class SimWorker:
@@ -72,11 +77,21 @@ class SimWorker:
         "factor_observation_count",
         "_pending_swap_event",
         "_batch_event",
+        "_engine",
+        "_on_arrival",
     )
 
     def __init__(self, physical_id: str, sim: "ServingSimulation"):
         self.physical_id = physical_id
         self.sim = sim
+        #: hot-path caches, bound once: a run's engine and drop policy are
+        #: fixed for the simulation's lifetime, so enqueue skips two
+        #: attribute hops per delivered query.  Stub sims (unit tests) may
+        #: lack either — enqueue falls back to a live lookup when the cached
+        #: binding is None.
+        self._engine = getattr(sim, "engine", None)
+        policy = getattr(sim, "drop_policy", None)
+        self._on_arrival = policy.on_arrival if policy is not None else None
         self.assignment: Optional[WorkerAssignment] = None
         #: new same-task assignment whose variant is still loading; the worker
         #: keeps serving with the old variant until the load completes
@@ -201,7 +216,10 @@ class SimWorker:
     # -- query intake ------------------------------------------------------------
     def enqueue(self, query: IntermediateQuery) -> None:
         """A query arrives at this worker (already includes network delay)."""
-        now = self.sim.engine.now_s
+        engine = self._engine
+        if engine is None:
+            engine = self.sim.engine
+        now = engine.now_s
         if self.failed:
             self.sim.notify_drop(query, reason="worker failed")
             return
@@ -210,19 +228,26 @@ class SimWorker:
             # No model hosted at all (should not happen when routing is consistent).
             self.sim.notify_drop(query, reason="worker has no assignment")
             return
-        is_last_task = not self.sim.pipeline.children(assignment.task)
-        decision = self.sim.drop_policy.on_arrival(
-            is_last_task=is_last_task,
-            remaining_slo_ms=query.remaining_slo_ms(now),
-            expected_processing_ms=assignment.expected_latency_ms,
+        child_edges = assignment.child_edges
+        if child_edges is None:
+            child_edges = tuple(self.sim.pipeline.children(assignment.task))
+        on_arrival = self._on_arrival
+        if on_arrival is None:
+            on_arrival = self.sim.drop_policy.on_arrival
+        decision = on_arrival(
+            not child_edges,
+            (query.request.deadline_s - now) * 1000.0,
+            assignment.expected_latency_ms,
         )
         if decision.action is DropAction.DROP:
             self.sim.notify_drop(query, reason=decision.reason)
             return
-        self.sim.task_arrivals[assignment.task] = self.sim.task_arrivals.get(assignment.task, 0) + 1
+        # every pipeline task is pre-seeded in sim.task_arrivals
+        self.sim.task_arrivals[assignment.task] += 1
         query.worker_arrival_s = now
         self.queue.append(query)
-        self._maybe_start_batch()
+        if not self.busy:
+            self._maybe_start_batch()
 
     # -- batching ----------------------------------------------------------------
     def _maybe_start_batch(self) -> None:
@@ -241,26 +266,49 @@ class SimWorker:
         self._batch_event = self.sim.engine.schedule_event(BatchCompleteEvent(now + duration_s, self, batch))
 
     def _complete_batch(self, batch: List[IntermediateQuery]) -> None:
+        sim = self.sim
         assignment = self.assignment
         self.busy = False
         self._batch_event = None
         if assignment is None:  # pragma: no cover - defensive
             for query in batch:
-                self.sim.notify_drop(query, reason="assignment removed mid-batch")
+                sim.notify_drop(query, reason="assignment removed mid-batch")
             return
-        now = self.sim.engine.now_s
+        now = sim.engine.now_s
         self.processed_batches += 1
-        self.sim._tele_batches.value += 1
-        self.sim._tele_batch_queries.value += len(batch)
-        for query in batch:
-            self.processed_queries += 1
-            query.accuracy_so_far *= assignment.variant.accuracy
-            self._dispatch(query, assignment, now)
-        self._maybe_start_batch()
+        sim._tele_batches.value += 1
+        sim._tele_batch_queries.value += len(batch)
+        self.processed_queries += len(batch)
+        accuracy = assignment.variant.accuracy
+        child_edges = assignment.child_edges
+        if child_edges is None:
+            child_edges = tuple(sim.pipeline.children(assignment.task))
+        if not child_edges:
+            # Sink fast path: no downstream fan-out to sample, every query in
+            # the batch returns straight to the Frontend.  Batched dispatch
+            # draws the whole batch's return-hop delays in one vectorized
+            # call (worth it once the vectorization overhead amortises).
+            if sim.batched_dispatch and len(batch) >= 4:
+                for query in batch:
+                    query.accuracy_so_far *= accuracy
+                sim.notify_sink_batch(batch)
+            else:
+                notify_sink = sim.notify_sink
+                for query in batch:
+                    query.accuracy_so_far *= accuracy
+                    notify_sink(query)
+        else:
+            for query in batch:
+                query.accuracy_so_far *= accuracy
+                self._dispatch(query, assignment, now)
+        if self.queue:
+            self._maybe_start_batch()
 
     # -- forwarding ----------------------------------------------------------------
     def _dispatch(self, query: IntermediateQuery, assignment: WorkerAssignment, now_s: float) -> None:
-        children = self.sim.pipeline.children(assignment.task)
+        children = assignment.child_edges
+        if children is None:
+            children = tuple(self.sim.pipeline.children(assignment.task))
         if not children:
             self.sim.notify_sink(query)
             return
@@ -298,12 +346,12 @@ class SimWorker:
         planned_entry = routing_table.choose(child_task, self.sim.rng) if routing_table is not None else None
         backups = self.sim.backups_for(child_task)
         decision = self.sim.drop_policy.on_forward(
-            time_in_task_ms=time_in_task_ms,
-            budget_ms=assignment.latency_budget_ms,
-            planned_entry=planned_entry,
-            backups=backups,
-            remaining_slo_ms=child_query.remaining_slo_ms(self.sim.engine.now_s),
-            rng=self.sim.rng,
+            time_in_task_ms,
+            assignment.latency_budget_ms,
+            planned_entry,
+            backups,
+            child_query.remaining_slo_ms(self.sim.engine.now_s),
+            self.sim.rng,
         )
         if decision.action is DropAction.DROP:
             self.sim.notify_drop(child_query, reason=decision.reason)

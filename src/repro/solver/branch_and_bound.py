@@ -145,8 +145,17 @@ class BranchAndBoundSolver:
     max_nodes:
         Node budget; the incumbent (if any) is returned with
         ``info["optimal_proven"] = False`` when exhausted.
+    max_lp_iterations:
+        Deterministic work limit: total simplex/LP iteration budget across
+        the whole solve (root, heuristics and tree nodes).  Unlike
+        ``time_limit`` it does not depend on machine load, so a solve bounded
+        only by node/iteration budgets returns the *same* plan on any
+        machine — set ``time_limit=None`` together with this to make
+        full-grid control-plane MILPs reproducible (see
+        ``ControllerConfig.solver_options``).  ``None`` means unlimited.
     time_limit:
-        Wall-clock budget in seconds.
+        Wall-clock budget in seconds; ``None`` disables the wall clock
+        entirely (fully deterministic when combined with the work limits).
     absolute_gap:
         Stop when the incumbent is within this absolute gap of the best bound.
     relative_gap:
@@ -170,6 +179,7 @@ class BranchAndBoundSolver:
         self,
         relaxation: str = "auto",
         max_nodes: int = 20000,
+        max_lp_iterations: Optional[int] = None,
         time_limit: Optional[float] = 60.0,
         absolute_gap: float = 1e-6,
         relative_gap: float = 1e-4,
@@ -183,6 +193,7 @@ class BranchAndBoundSolver:
             raise ValueError(f"unknown relaxation engine: {relaxation!r}")
         self.relaxation = relaxation
         self.max_nodes = max_nodes
+        self.max_lp_iterations = max_lp_iterations
         self.time_limit = time_limit
         self.absolute_gap = absolute_gap
         self.relative_gap = relative_gap
@@ -284,7 +295,8 @@ class BranchAndBoundSolver:
             if self.time_limit is not None:
                 heuristic_deadline = start + 0.5 * self.time_limit
             oracle = self._make_fixing_oracle(
-                c, A_ub, b_ub, A_eq, b_eq, root_warm, ub0, info, form, engine, heuristic_deadline
+                c, A_ub, b_ub, A_eq, b_eq, root_warm, ub0, info, form, engine, heuristic_deadline,
+                lp_budget=self.max_lp_iterations,
             )
             heuristic_x = round_and_repair(
                 c, A_ub, b_ub, A_eq, b_eq, lb0, ub0, integer_idx, x_root, oracle
@@ -312,11 +324,17 @@ class BranchAndBoundSolver:
         #: sooner than best-first exploration on flat-bound (degenerate) trees.
         plunge: List[_Node] = []
         proven = False
+        stop_reason = "exhausted"
 
         while heap or plunge:
             if info["nodes"] >= self.max_nodes:
+                stop_reason = "node_limit"
+                break
+            if self.max_lp_iterations is not None and info["lp_iterations"] >= self.max_lp_iterations:
+                stop_reason = "lp_iteration_limit"
                 break
             if self.time_limit is not None and time.perf_counter() - start > self.time_limit:
+                stop_reason = "time_limit"
                 break
             if incumbent_x is None and plunge:
                 node = plunge.pop()
@@ -333,6 +351,7 @@ class BranchAndBoundSolver:
                 if node.bound >= cutoff():
                     # Best-first order: every remaining node is at least as bad.
                     proven = incumbent_x is not None
+                    stop_reason = "gap"
                     break
             if node.bound >= cutoff():
                 continue
@@ -396,6 +415,7 @@ class BranchAndBoundSolver:
         info["runtime_s"] = elapsed
         exhausted = not heap and not plunge
         info["optimal_proven"] = (proven or exhausted) and incumbent_x is not None
+        info["stop_reason"] = "exhausted" if exhausted else stop_reason
         info["pseudo_cost_observations"] = pseudo.observations
         if incumbent_x is None:
             # Either genuinely infeasible as a MILP or budget exhausted without
@@ -460,15 +480,18 @@ class BranchAndBoundSolver:
         return "optimal", np.asarray(res.x, dtype=float), float(res.fun)
 
     def _make_fixing_oracle(self, c, A_ub, b_ub, A_eq, b_eq, root_warm, root_ub, info, form=None,
-                            engine=None, deadline=None):
+                            engine=None, deadline=None, lp_budget=None):
         """LP oracle for :func:`round_and_repair`: solve with given bounds,
         warm starting from the root basis when the structure allows it.  The
-        oracle refuses further solves past ``deadline`` so the incumbent
-        heuristic cannot blow the solver's time budget."""
+        oracle refuses further solves past ``deadline`` (or once ``lp_budget``
+        total LP iterations are spent) so the incumbent heuristic cannot blow
+        the solver's time/work budget."""
         root_pattern = np.isfinite(root_ub).tobytes()
 
         def oracle(lb_fix, ub_fix):
             if deadline is not None and time.perf_counter() > deadline:
+                return "deadline", None
+            if lp_budget is not None and info["lp_iterations"] >= lp_budget:
                 return "deadline", None
             status, x, _, _ = self._solve_relaxation(
                 c, A_ub, b_ub, A_eq, b_eq, lb_fix, ub_fix,

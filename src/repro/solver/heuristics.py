@@ -55,10 +55,14 @@ def round_and_repair(
 ) -> Optional[np.ndarray]:
     """Turn an LP-relaxation optimum into an integer-feasible point.
 
-    Tries round-up first (Loki's allocation MILPs are covering problems where
-    rounding replica counts up preserves throughput feasibility), then
-    nearest-integer rounding.  Returns the full variable vector, or ``None``
-    when no rounding attempt could be completed.
+    Completes both a round-up candidate (Loki's allocation MILPs are covering
+    problems where rounding replica counts up preserves throughput
+    feasibility) and a nearest-integer candidate, and returns whichever
+    completion achieves the better objective — on packing-shaped models
+    (e.g. maximisation under ``<=`` capacity rows) rounding up consumes
+    capacity the continuous variables need, so its completion can be feasible
+    yet far from optimal while the nearest rounding completes near the LP
+    bound.  Returns ``None`` when no rounding attempt could be completed.
     """
     integer_idx = np.asarray(integer_idx, dtype=int)
     if integer_idx.size == 0:
@@ -68,6 +72,7 @@ def round_and_repair(
     roundings = (
         np.minimum(np.ceil(x_lp[integer_idx] - _TOL), ub[integer_idx]),
         np.clip(np.round(x_lp[integer_idx]), lb[integer_idx], ub[integer_idx]),
+        np.maximum(np.floor(x_lp[integer_idx] + _TOL), lb[integer_idx]),
     )
     # Rows whose every nonzero coefficient sits on an integer variable can
     # never be repaired by the continuous re-solve; they are handled greedily
@@ -78,6 +83,8 @@ def round_and_repair(
     int_only_eq = ~np.any(A_eq[:, ~integer_mask] != 0.0, axis=1) if A_eq.shape[0] else np.zeros(0, dtype=bool)
 
     seen = set()
+    best: Optional[np.ndarray] = None
+    best_value = math.inf
     for xi in roundings:
         xi = np.maximum(xi, lb[integer_idx])
         key = xi.tobytes()
@@ -89,8 +96,10 @@ def round_and_repair(
             int_only_ub, int_only_eq, max_repair_steps,
         )
         if x is not None:
-            return x
-    return None
+            value = float(c @ x)  # standard form: always minimisation
+            if value < best_value:
+                best, best_value = x, value
+    return best
 
 
 def diving_round(

@@ -39,6 +39,12 @@ class ScipyMilpBackend:
         Relative MIP gap at which the solver may stop early.
     presolve:
         Whether HiGHS presolve is enabled.
+    node_limit:
+        Deterministic work limit: maximum branch-and-bound nodes HiGHS may
+        explore.  Unlike ``time_limit`` it does not depend on machine load,
+        so a solve bounded only by the node budget returns the same plan on
+        any machine (HiGHS is deterministic for a fixed option set).
+        ``None`` means unlimited.
     """
 
     def __init__(
@@ -46,10 +52,12 @@ class ScipyMilpBackend:
         time_limit: Optional[float] = None,
         mip_rel_gap: float = 1e-6,
         presolve: bool = True,
+        node_limit: Optional[int] = None,
     ):
         self.time_limit = time_limit
         self.mip_rel_gap = mip_rel_gap
         self.presolve = presolve
+        self.node_limit = node_limit
 
     def solve(self, model: Model) -> Solution:
         if model.num_vars == 0:
@@ -70,6 +78,8 @@ class ScipyMilpBackend:
         options = {"mip_rel_gap": self.mip_rel_gap, "presolve": self.presolve}
         if self.time_limit is not None:
             options["time_limit"] = float(self.time_limit)
+        if self.node_limit is not None:
+            options["node_limit"] = int(self.node_limit)
 
         start = time.perf_counter()
         try:

@@ -80,8 +80,22 @@ class P2Quantile:
         self._increments: Tuple[float, ...] = ()
 
     def observe(self, x: float) -> None:
-        if not self._heights:
-            self._initial.append(float(x))
+        self.observe_many((float(x),))
+
+    def observe_many(self, values) -> None:
+        """Feed a sequence of observations through the estimator.
+
+        Exactly equivalent to calling :meth:`observe` per element in order —
+        P² is order-dependent and the order is preserved — but the marker
+        update loop runs with locals hoisted, which is what makes the
+        buffered :class:`Histogram` flush cheap on the simulator's
+        per-request hot path.
+        """
+        start = 0
+        total = len(values)
+        while not self._heights and start < total:
+            self._initial.append(float(values[start]))
+            start += 1
             if len(self._initial) == 5:
                 self._initial.sort()
                 q = self.q
@@ -89,42 +103,94 @@ class P2Quantile:
                 self._positions = [1, 2, 3, 4, 5]
                 self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0]
                 self._increments = (0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0)
+        if start >= total:
             return
+        if start:
+            values = values[start:]
 
-        heights, positions = self._heights, self._positions
-        if x < heights[0]:
-            heights[0] = x
-            cell = 0
-        elif x >= heights[4]:
-            heights[4] = x
-            cell = 3
-        else:
-            cell = 3
-            for i in range(1, 5):
-                if x < heights[i]:
-                    cell = i - 1
-                    break
-        for i in range(cell + 1, 5):
-            positions[i] += 1
-        for i in range(5):
-            self._desired[i] += self._increments[i]
+        # The marker state lives in scalar locals for the whole batch: the
+        # update below is exactly the classic five-marker P² step (cell
+        # search, position/desired bump, parabolic adjustment of the three
+        # middle markers with linear fallback), just with every list index
+        # unrolled.  Marker 0 never moves (position 1, desired increment 0),
+        # so only p1..p4 / d1..d4 are tracked.  The cell search compares
+        # against the middle marker first (binary order — fewest expected
+        # compares per sample).
+        h0, h1, h2, h3, h4 = self._heights
+        _, p1, p2, p3, p4 = self._positions
+        _, d1, d2, d3, d4 = self._desired
+        _, inc1, inc2, inc3, _ = self._increments
+        for x in values:
+            if x < h2:
+                if x < h1:
+                    if x < h0:
+                        h0 = x
+                    p1 += 1
+                    p2 += 1
+                    p3 += 1
+                    p4 += 1
+                else:
+                    p2 += 1
+                    p3 += 1
+                    p4 += 1
+            elif x < h3:
+                p3 += 1
+                p4 += 1
+            elif x < h4:
+                p4 += 1
+            else:
+                h4 = x
+                p4 += 1
+            d1 += inc1
+            d2 += inc2
+            d3 += inc3
+            d4 += 1.0
 
-        for i in (1, 2, 3):
-            delta = self._desired[i] - positions[i]
-            here, right, left = positions[i], positions[i + 1], positions[i - 1]
-            if (delta >= 1.0 and right - here > 1) or (delta <= -1.0 and left - here < -1):
+            delta = d1 - p1
+            if (delta >= 1.0 and p2 - p1 > 1) or (delta <= -1.0 and 1 - p1 < -1):
                 step = 1 if delta >= 0 else -1
-                candidate = heights[i] + (step / (right - left)) * (
-                    (here - left + step) * (heights[i + 1] - heights[i]) / (right - here)
-                    + (right - here - step) * (heights[i] - heights[i - 1]) / (here - left)
+                candidate = h1 + (step / (p2 - 1)) * (
+                    (p1 - 1 + step) * (h2 - h1) / (p2 - p1) + (p2 - p1 - step) * (h1 - h0) / (p1 - 1)
                 )
-                if heights[i - 1] < candidate < heights[i + 1]:
-                    heights[i] = candidate
-                else:  # parabolic prediction left the bracket: linear fallback
-                    heights[i] = heights[i] + step * (heights[i + step] - heights[i]) / (
-                        positions[i + step] - here
-                    )
-                positions[i] += step
+                if h0 < candidate < h2:
+                    h1 = candidate
+                elif step == 1:  # parabolic prediction left the bracket: linear fallback
+                    h1 = h1 + (h2 - h1) / (p2 - p1)
+                else:
+                    h1 = h1 - (h0 - h1) / (1 - p1)
+                p1 += step
+
+            delta = d2 - p2
+            if (delta >= 1.0 and p3 - p2 > 1) or (delta <= -1.0 and p1 - p2 < -1):
+                step = 1 if delta >= 0 else -1
+                candidate = h2 + (step / (p3 - p1)) * (
+                    (p2 - p1 + step) * (h3 - h2) / (p3 - p2) + (p3 - p2 - step) * (h2 - h1) / (p2 - p1)
+                )
+                if h1 < candidate < h3:
+                    h2 = candidate
+                elif step == 1:
+                    h2 = h2 + (h3 - h2) / (p3 - p2)
+                else:
+                    h2 = h2 - (h1 - h2) / (p1 - p2)
+                p2 += step
+
+            delta = d3 - p3
+            if (delta >= 1.0 and p4 - p3 > 1) or (delta <= -1.0 and p2 - p3 < -1):
+                step = 1 if delta >= 0 else -1
+                candidate = h3 + (step / (p4 - p2)) * (
+                    (p3 - p2 + step) * (h4 - h3) / (p4 - p3) + (p4 - p3 - step) * (h3 - h2) / (p3 - p2)
+                )
+                if h2 < candidate < h4:
+                    h3 = candidate
+                elif step == 1:
+                    h3 = h3 + (h4 - h3) / (p4 - p3)
+                else:
+                    h3 = h3 - (h2 - h3) / (p2 - p3)
+                p3 += step
+
+        self._heights = [h0, h1, h2, h3, h4]
+        self._positions = [1, p1, p2, p3, p4]
+        self._desired = [self._desired[0], d1, d2, d3, d4]
 
     def value(self) -> float:
         if self._heights:
@@ -137,45 +203,105 @@ class P2Quantile:
 
 
 class Histogram:
-    """Streaming distribution summary: count/sum/min/max plus P² quantiles."""
+    """Streaming distribution summary: count/sum/min/max plus P² quantiles.
 
-    __slots__ = ("name", "count", "sum", "min", "max", "_quantiles")
+    Observations are buffered and flushed through the P² estimators in
+    batches: :meth:`observe` is one list append on the simulator's
+    per-request hot path, while the order-preserving bulk flush
+    (:meth:`P2Quantile.observe_many` plus C-speed ``sum``/``min``/``max``
+    for the aggregates) runs once every :attr:`FLUSH_LIMIT` samples or when
+    a reader needs a value.  Every reader flushes first, so observable
+    state is always exactly what unbuffered per-sample updates would give.
+    """
+
+    __slots__ = ("name", "_count", "_sum", "_min", "_max", "_quantiles", "_buffer")
 
     DEFAULT_QUANTILES = (0.5, 0.9, 0.99)
+    FLUSH_LIMIT = 512
 
     def __init__(self, name: str, quantiles: Iterable[float] = DEFAULT_QUANTILES):
         self.name = name
-        self.count = 0
-        self.sum = 0.0
-        self.min = math.inf
-        self.max = -math.inf
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
         self._quantiles = {q: P2Quantile(q) for q in quantiles}
+        self._buffer: List[float] = []
 
     def observe(self, x: float) -> None:
-        x = float(x)
-        self.count += 1
-        self.sum += x
-        if x < self.min:
-            self.min = x
-        if x > self.max:
-            self.max = x
+        buffer = self._buffer
+        buffer.append(float(x))
+        if len(buffer) >= self.FLUSH_LIMIT:
+            self._flush()
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Record a whole chunk of observations in one call.
+
+        Equivalent to observing each element in order; bulk consumers (the
+        batched dispatch mode's sink returns) skip the per-sample method
+        call and length check.
+        """
+        buffer = self._buffer
+        buffer.extend(map(float, values))
+        if len(buffer) >= self.FLUSH_LIMIT:
+            self._flush()
+
+    def _flush(self) -> None:
+        buffer = self._buffer
+        if not buffer:
+            return
+        self._buffer = []
+        self._count += len(buffer)
+        self._sum += sum(buffer)
+        low = min(buffer)
+        high = max(buffer)
+        if low < self._min:
+            self._min = low
+        if high > self._max:
+            self._max = high
         for estimator in self._quantiles.values():
-            estimator.observe(x)
+            estimator.observe_many(buffer)
+
+    # Readers flush first, so observable state always equals what unbuffered
+    # per-sample updates would have produced.
+    @property
+    def count(self) -> int:
+        self._flush()
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        self._flush()
+        return self._sum
+
+    @property
+    def min(self) -> float:
+        self._flush()
+        return self._min
+
+    @property
+    def max(self) -> float:
+        self._flush()
+        return self._max
 
     @property
     def mean(self) -> float:
-        return self.sum / self.count if self.count else math.nan
+        self._flush()
+        return self._sum / self._count if self._count else math.nan
 
     def quantile(self, q: float) -> float:
+        self._flush()
         return self._quantiles[q].value()
 
     def snapshot(self) -> Dict[str, float]:
+        self._flush()
+        count = self._count
         out = {
-            f"{self.name}.count": float(self.count),
-            f"{self.name}.sum": self.sum,
-            f"{self.name}.mean": self.mean,
-            f"{self.name}.min": self.min if self.count else math.nan,
-            f"{self.name}.max": self.max if self.count else math.nan,
+            f"{self.name}.count": float(count),
+            f"{self.name}.sum": self._sum,
+            f"{self.name}.mean": self._sum / count if count else math.nan,
+            f"{self.name}.min": self._min if count else math.nan,
+            f"{self.name}.max": self._max if count else math.nan,
         }
         for q, estimator in self._quantiles.items():
             out[f"{self.name}.p{round(q * 100)}"] = estimator.value()

@@ -22,7 +22,12 @@ Determinism notes baked into this configuration:
   coupling constraints in ``repro.core.allocation``;
 * Loki's fig5 MILPs are kept small enough (restricted batch grid) that every
   solve terminates on the optimality gap, never on the wall-clock limit —
-  truncated solves would make results depend on machine load.
+  truncated solves would make results depend on machine load.  (The goldens
+  were captured with this configuration, so it is kept verbatim; new runs
+  that need the *full* batch grid can instead bound the solver with the
+  deterministic work limits — ``solver_options={"time_limit": None,
+  "node_limit": ...}`` — proven machine-independent by
+  ``tests/solver/test_work_limits.py``.)
 """
 
 import json

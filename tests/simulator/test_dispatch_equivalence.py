@@ -1,0 +1,201 @@
+"""Dispatch-mode equivalence: scalar stays golden, batched stays honest.
+
+Two claims are pinned here:
+
+* **Scalar is bit-identical.**  The default ``dispatch_mode="scalar"``
+  consumes the RNG stream exactly as every release since the compiled-sampler
+  refactor, so summaries reproduce pinned goldens digit for digit (the
+  fig5/fig6 parity suite in ``tests/control/test_parity.py`` pins the full
+  cross-system comparison; the golden here is a fast smoke-level tripwire).
+* **Batched is statistically equivalent.**  The opt-in batched mode draws
+  routes/delays in bulk (a different RNG stream), so individual requests
+  differ, but the same arrival workload must produce matching summary
+  statistics — same total requests exactly, and throughput / SLO violation
+  ratio / mean accuracy within tight tolerances — across builtin scenarios
+  and seeds, including the multi-task social pipeline whose worker-side
+  fan-out goes through the scalar code paths in both modes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.scenarios import ScenarioSpec, get_scenario
+from repro.simulator import ServingSimulation, SimulationConfig
+from repro.simulator.events import ArrivalBurstEvent, ArrivalEvent
+from repro.simulator.metrics import MetricsCollector
+
+
+def _scenario(name):
+    overrides = {
+        "validation_uniform": {"trace_params": {"qps": 150.0, "duration_s": 15}},
+        "social_twitter_bursty": {
+            "trace_params": {"duration_s": 20, "peak_qps": 1.0, "trough_fraction": 0.15, "seed": 11}
+        },
+        "traffic_azure": {
+            "trace_params": {"duration_s": 20, "peak_qps": 1.0, "trough_fraction": 0.12, "seed": 7}
+        },
+    }.get(name, {})
+    spec = get_scenario(name)
+    return spec.with_overrides(**overrides) if overrides else spec
+
+
+class TestDefaults:
+    def test_scalar_is_the_default_everywhere(self):
+        assert SimulationConfig().dispatch_mode == "scalar"
+        assert ScenarioSpec(name="x").dispatch_mode == "scalar"
+
+    def test_unknown_mode_rejected(self):
+        spec = _scenario("smoke").with_overrides(dispatch_mode="vectorized")
+        with pytest.raises(ValueError, match="dispatch_mode"):
+            spec.build(seed=0)
+
+    def test_sim_overrides_can_opt_in(self):
+        spec = _scenario("smoke").with_overrides(sim_overrides={"dispatch_mode": "batched"})
+        assert spec.build(seed=0).config.dispatch_mode == "batched"
+
+
+class TestScalarGolden:
+    #: captured from the smoke scenario before the batched-dispatch PR; the
+    #: scalar path must keep reproducing these digits exactly
+    GOLDEN = {
+        "total_requests": 316,
+        "completed_requests": 312,
+        "violated_requests": 4,
+        "slo_violation_ratio": 0.012658227848101266,
+        "mean_accuracy": 1.0,
+    }
+
+    def test_smoke_summary_matches_pre_batching_golden(self):
+        summary = _scenario("smoke").run(seed=0)
+        for field, expected in self.GOLDEN.items():
+            observed = getattr(summary, field)
+            if isinstance(expected, int):
+                assert observed == expected, field
+            else:
+                assert observed == pytest.approx(expected, rel=1e-12), field
+
+
+#: (scenario, seeds) grid for the statistical equivalence claim; three
+#: builtin scenarios x two seeds run in tier-1, the heavier fig5-style
+#: overload scenario is slow-marked below
+EQUIVALENCE_GRID = [
+    ("smoke", (0, 1)),
+    ("validation_uniform", (0, 1)),
+    ("social_twitter_bursty", (0, 1)),
+]
+
+#: tolerances: roughly 2x the worst deltas observed across the grid
+VIOLATION_ABS_TOL = 0.05
+ACCURACY_ABS_TOL = 0.01
+COMPLETED_REL_TOL = 0.10
+LATENCY_REL_TOL = 0.15
+
+
+def assert_statistically_equivalent(scalar, batched):
+    assert batched.total_requests == scalar.total_requests
+    assert batched.slo_violation_ratio == pytest.approx(
+        scalar.slo_violation_ratio, abs=VIOLATION_ABS_TOL
+    )
+    assert batched.mean_accuracy == pytest.approx(scalar.mean_accuracy, abs=ACCURACY_ABS_TOL)
+    # throughput: completed requests over the same trace duration
+    assert batched.completed_requests == pytest.approx(
+        scalar.completed_requests, rel=COMPLETED_REL_TOL, abs=5
+    )
+    if np.isfinite(scalar.mean_latency_ms) and np.isfinite(batched.mean_latency_ms):
+        assert batched.mean_latency_ms == pytest.approx(scalar.mean_latency_ms, rel=LATENCY_REL_TOL)
+
+
+class TestBatchedMatchesScalarStatistics:
+    @pytest.mark.parametrize("name,seeds", EQUIVALENCE_GRID)
+    def test_summary_statistics_match(self, name, seeds):
+        spec = _scenario(name)
+        for seed in seeds:
+            scalar = spec.with_overrides(dispatch_mode="scalar").run(seed=seed)
+            batched = spec.with_overrides(dispatch_mode="batched").run(seed=seed)
+            assert_statistically_equivalent(scalar, batched)
+
+    @pytest.mark.slow
+    def test_fig5_overload_scenario_matches(self):
+        spec = _scenario("traffic_azure")
+        scalar = spec.with_overrides(dispatch_mode="scalar").run(seed=0)
+        batched = spec.with_overrides(dispatch_mode="batched").run(seed=0)
+        assert_statistically_equivalent(scalar, batched)
+
+    def test_batched_mode_is_deterministic(self):
+        spec = _scenario("smoke").with_overrides(dispatch_mode="batched")
+        first = spec.run(seed=0)
+        second = spec.run(seed=0)
+        assert first.total_requests == second.total_requests
+        assert first.completed_requests == second.completed_requests
+        assert first.slo_violation_ratio == second.slo_violation_ratio
+        assert first.mean_latency_ms == second.mean_latency_ms
+
+
+class TestBurstStructure:
+    def _calendar_events(self, simulation):
+        simulation._bootstrap()
+        simulation._schedule_workload()
+        return [entry[2] for entry in sorted(simulation.engine.queue._heap)]
+
+    def test_bursts_cover_all_arrivals_and_never_span_a_tick(self):
+        spec = _scenario("smoke").with_overrides(dispatch_mode="batched")
+        simulation = spec.build(seed=0)
+        events = self._calendar_events(simulation)
+        bursts = [e for e in events if isinstance(e, ArrivalBurstEvent)]
+        assert bursts and not any(isinstance(e, ArrivalEvent) for e in events)
+        times = np.concatenate([b.times for b in bursts])
+        assert np.array_equal(times, simulation._arrival_times)
+        for burst in bursts:
+            # a burst lies strictly within one control window [k, k+1-1e-6)
+            window_start = np.floor(burst.times[0])
+            tick_time = window_start + 1.0 - 1e-6
+            assert burst.times[-1] < tick_time or burst.times[0] >= tick_time
+
+    def test_scalar_mode_still_preloads_per_query_events(self):
+        spec = _scenario("smoke")
+        simulation = spec.build(seed=0)
+        events = self._calendar_events(simulation)
+        assert any(isinstance(e, ArrivalEvent) for e in events)
+        assert not any(isinstance(e, ArrivalBurstEvent) for e in events)
+
+    def test_burst_without_routing_plan_rejects_whole_chunk(self):
+        spec = _scenario("smoke").with_overrides(dispatch_mode="batched")
+        simulation = spec.build(seed=0)
+        simulation.routing_plan = None
+        times = np.array([0.1, 0.2, 0.3])
+        simulation.frontend.submit_burst(times)
+        assert simulation.frontend.rejected_no_plan == 3
+        assert simulation.frontend.total_submitted == 3
+        assert simulation.dropped_queries == 3
+        assert simulation.metrics.total_requests == 3
+
+
+class TestBulkMetrics:
+    def test_record_arrivals_matches_scalar_loop(self):
+        rng = np.random.default_rng(5)
+        times = np.sort(rng.uniform(0.0, 37.0, size=4_000))
+        scalar = MetricsCollector(cluster_size=4, interval_s=1.0)
+        bulk = MetricsCollector(cluster_size=4, interval_s=1.0)
+        for t in times:
+            scalar.record_arrival(float(t))
+        # feed in chunks of varying size, as the burst path does
+        cursor = 0
+        while cursor < times.shape[0]:
+            step = int(rng.integers(1, 700))
+            bulk.record_arrivals(times[cursor : cursor + step])
+            cursor += step
+        assert bulk.total_requests == scalar.total_requests
+        assert set(bulk.intervals) == set(scalar.intervals)
+        for index, interval in scalar.intervals.items():
+            assert bulk.intervals[index].demand == interval.demand
+
+    def test_record_arrivals_non_unit_interval(self):
+        collector = MetricsCollector(cluster_size=1, interval_s=2.5)
+        collector.record_arrivals(np.array([0.0, 2.4, 2.5, 7.4, 7.6]))
+        assert collector.total_requests == 5
+        assert {k: v.demand for k, v in collector.intervals.items()} == {0: 2, 1: 1, 2: 1, 3: 1}
+
+    def test_record_arrivals_empty_chunk_is_noop(self):
+        collector = MetricsCollector(cluster_size=1)
+        collector.record_arrivals(np.empty(0))
+        assert collector.total_requests == 0 and not collector.intervals

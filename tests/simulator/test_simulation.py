@@ -39,6 +39,30 @@ class TestNetworkModel:
         with pytest.raises(ValueError):
             NetworkModel(latency_ms=-1.0)
 
+    def test_scalar_draw_matches_legacy_uniform_stream(self):
+        """The rng.random()-based scalar draw is bit-identical to the
+        historical ``rng.uniform(-jitter, jitter)`` implementation."""
+        import numpy as np
+
+        model = NetworkModel(latency_ms=3.0, jitter_ms=1.0)
+        new = np.random.default_rng(17)
+        legacy = np.random.default_rng(17)
+        for _ in range(500):
+            expected = max(0.0, 3.0 + float(legacy.uniform(-1.0, 1.0)))
+            assert model.sample_latency_ms(new) == expected
+
+    def test_vectorized_delays_match_distribution(self, rng):
+        model = NetworkModel(latency_ms=3.0, jitter_ms=1.0)
+        delays = model.sample_delays_s(rng, 5_000)
+        assert delays.shape == (5_000,)
+        assert float(delays.min()) >= 0.002 - 1e-12
+        assert float(delays.max()) <= 0.004 + 1e-12
+        assert float(delays.mean()) == pytest.approx(0.003, abs=5e-5)
+
+    def test_vectorized_delays_constant_without_jitter(self, rng):
+        model = NetworkModel(latency_ms=3.0, jitter_ms=0.0)
+        assert list(model.sample_delays_s(rng, 3)) == pytest.approx([0.003] * 3)
+
 
 class TestEndToEndSimulation:
     def test_moderate_load_mostly_meets_slo(self, small_pipeline):

@@ -1,0 +1,147 @@
+"""Deterministic solver work limits (node / LP-iteration budgets).
+
+Wall-clock limits make MILP results depend on machine load: a solve that
+terminates on ``time_limit`` returns whatever incumbent it happened to reach
+in the allotted seconds.  The work limits added here (``max_nodes`` +
+``max_lp_iterations`` on the bundled branch and bound, ``node_limit`` on the
+SciPy/HiGHS backend) bound the *work*, not the wall clock, so a budgeted
+solve returns the same plan on any machine — which is what lets full-grid
+fig5-style allocation MILPs run reproducibly (the parity suite previously
+had to restrict the batch grid to keep every solve under the wall clock).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import AllocationProblem, build_accuracy_scaling_model
+from repro.solver import BranchAndBoundSolver, Model, OPTIMAL, ScipyMilpBackend, solve
+from repro.zoo import traffic_analysis_pipeline
+
+
+def knapsack_model(num_items: int = 14, seed: int = 3) -> Model:
+    """A dense 0/1-style knapsack MILP that needs real branching."""
+    rng = np.random.default_rng(seed)
+    model = Model("knapsack")
+    values = rng.uniform(1.0, 10.0, size=num_items)
+    weights = rng.uniform(1.0, 8.0, size=num_items)
+    xs = [model.add_var(f"x{i}", ub=3.0, integer=True) for i in range(num_items)]
+    expr = xs[0] * float(weights[0])
+    obj = xs[0] * float(values[0])
+    for i in range(1, num_items):
+        expr = expr + xs[i] * float(weights[i])
+        obj = obj + xs[i] * float(values[i])
+    model.add_constraint(expr <= float(weights.sum() * 0.9))
+    model.maximize(obj)
+    return model
+
+
+class TestBranchAndBoundWorkLimits:
+    def test_lp_iteration_budget_stops_the_search(self):
+        model = knapsack_model()
+        bounded = BranchAndBoundSolver(
+            time_limit=None, max_lp_iterations=5, relative_gap=0.0, absolute_gap=0.0,
+            use_incumbent_heuristic=False, tighten_bounds=False,
+        ).solve(model)
+        assert bounded.info["stop_reason"] == "lp_iteration_limit"
+        assert bounded.info["lp_iterations"] >= 5
+        assert not bounded.info.get("optimal_proven", False)
+
+    def test_unbudgeted_solve_reports_terminal_stop_reason(self):
+        solution = BranchAndBoundSolver(time_limit=None).solve(knapsack_model())
+        assert solution.status == OPTIMAL
+        assert solution.info["stop_reason"] in ("gap", "exhausted")
+
+    def test_work_limited_solve_is_deterministic(self):
+        """Two budgeted wall-clock-free solves must agree bit for bit."""
+        results = []
+        for _ in range(2):
+            solution = BranchAndBoundSolver(
+                time_limit=None, max_nodes=50, max_lp_iterations=2_000
+            ).solve(knapsack_model())
+            results.append(solution)
+        first, second = results
+        assert first.status == second.status == OPTIMAL
+        assert first.objective == second.objective
+        assert np.array_equal(first.x, second.x)
+        assert first.info["nodes"] == second.info["nodes"]
+        assert first.info["lp_iterations"] == second.info["lp_iterations"]
+        assert first.info["stop_reason"] == second.info["stop_reason"]
+
+    def test_node_budget_still_returns_incumbent(self):
+        solution = BranchAndBoundSolver(time_limit=None, max_nodes=3).solve(knapsack_model())
+        # The root + heuristic produce an incumbent even under a tiny budget.
+        assert solution.status == OPTIMAL
+        assert solution.info["stop_reason"] == "node_limit"
+
+
+class TestScipyNodeLimit:
+    def test_node_limit_option_accepted_and_deterministic(self):
+        model = knapsack_model()
+        first = ScipyMilpBackend(node_limit=10_000).solve(model)
+        second = ScipyMilpBackend(node_limit=10_000).solve(model)
+        assert first.status == OPTIMAL
+        assert first.objective == second.objective
+        assert np.array_equal(first.x, second.x)
+
+    def test_node_limit_flows_through_solver_options(self):
+        """ControllerConfig.solver_options-style kwargs reach the backend."""
+        solution = solve(
+            knapsack_model(), backend="scipy", cache=False,
+            mip_rel_gap=2e-3, node_limit=50_000,
+        )
+        assert solution.status == OPTIMAL
+
+
+class TestFullGridAllocationDeterminism:
+    #: deterministic (wall-clock-free) options for the default HiGHS backend:
+    #: the work is bounded by a node budget instead of seconds
+    DETERMINISTIC_OPTIONS = {"time_limit": None, "node_limit": 20_000, "mip_rel_gap": 2e-3}
+
+    def test_full_batch_grid_fig5_milp_is_reproducible(self):
+        """The fig5-shaped accuracy-scaling MILP on the *unrestricted* batch
+        grid, solved under a deterministic node budget (no wall clock),
+        returns an identical plan on repeated solves — removing the
+        machine-load dependence the parity suite's restricted-batch-grid
+        caveat worked around."""
+        pipeline = traffic_analysis_pipeline(latency_slo_ms=250.0)
+        problem = AllocationProblem(
+            pipeline,
+            num_workers=20,
+            latency_slo_ms=250.0,
+            solver_options=dict(self.DETERMINISTIC_OPTIONS),
+        )
+        demand = problem.max_supported_demand(restrict_to_best=True).max_demand_qps * 2.5
+        model = build_accuracy_scaling_model(problem, demand)
+
+        solutions = [
+            solve(model, backend="scipy", cache=False, **self.DETERMINISTIC_OPTIONS)
+            for _ in range(2)
+        ]
+        first, second = solutions
+        assert first.status == OPTIMAL
+        assert first.objective == second.objective
+        assert np.array_equal(first.x, second.x)
+
+    def test_controller_accepts_deterministic_solver_options(self):
+        """A Controller configured with work-limited solver options produces
+        an identical full-grid plan on a rebuilt controller (end to end,
+        no wall-clock dependence)."""
+        from repro.core import Controller, ControllerConfig
+
+        plans = []
+        for _ in range(2):
+            pipeline = traffic_analysis_pipeline(latency_slo_ms=250.0)
+            config = ControllerConfig(
+                num_workers=20,
+                latency_slo_ms=250.0,
+                solver_options=dict(self.DETERMINISTIC_OPTIONS),
+            )
+            controller = Controller(pipeline, config)
+            controller.report_demand(0.0, 60.0)
+            plan, routing = controller.step(0.0, force=True)
+            assert plan is not None and plan.allocations
+            assert routing is not None
+            plans.append(
+                sorted((a.task, a.variant_name, a.batch_size, a.replicas) for a in plan.allocations)
+            )
+        assert plans[0] == plans[1]
