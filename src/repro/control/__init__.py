@@ -20,18 +20,31 @@ decisions inside it.  This package factors that skeleton into
 are thin facades over this engine; their public APIs are unchanged.
 """
 
+from repro.control.context import (
+    ClusterStateProvider,
+    ClusterView,
+    ControlContext,
+    TelemetryWindow,
+    WorkerView,
+)
 from repro.control.engine import ControlPlaneEngine
 from repro.control.policies import (
     ALLOCATION_POLICIES,
     AllocationPolicy,
     DelegatingAllocationPolicy,
     LokiAllocationPolicy,
+    SLOFeedbackPolicy,
     StaticPlanPolicy,
     multiplier_fingerprint,
     register_allocation_policy,
 )
 from repro.control.routing import (
     ROUTING_POLICIES,
+    AdaptiveP2CChooser,
+    AdaptiveP2CRouting,
+    DynamicChooser,
+    JSQChooser,
+    JSQRouting,
     LeastLoadedRouting,
     PowerOfTwoChoicesRouting,
     RoutingPolicy,
@@ -44,9 +57,15 @@ from repro.core.sampling import CompiledSampler
 
 __all__ = [
     "ControlPlaneEngine",
+    "ControlContext",
+    "ClusterView",
+    "ClusterStateProvider",
+    "TelemetryWindow",
+    "WorkerView",
     "AllocationPolicy",
     "LokiAllocationPolicy",
     "StaticPlanPolicy",
+    "SLOFeedbackPolicy",
     "DelegatingAllocationPolicy",
     "ALLOCATION_POLICIES",
     "register_allocation_policy",
@@ -56,6 +75,11 @@ __all__ = [
     "LeastLoadedRouting",
     "WeightedRandomRouting",
     "PowerOfTwoChoicesRouting",
+    "DynamicChooser",
+    "JSQChooser",
+    "AdaptiveP2CChooser",
+    "JSQRouting",
+    "AdaptiveP2CRouting",
     "ROUTING_POLICIES",
     "register_routing_policy",
     "make_routing_policy",

@@ -20,15 +20,18 @@ step logic that previously lived in ``core/controller.py`` and
 
 from __future__ import annotations
 
+import math
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
+from repro.control.context import ClusterView, ControlContext, TelemetryWindow
 from repro.core.allocation import AllocationPlan
 from repro.core.load_balancer import LoadBalancer, RoutingPlan, WorkerState, workers_from_plan
 from repro.core.pipeline import Pipeline
 from repro.core.resource_manager import DemandEstimator
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.control.context import ClusterStateProvider
     from repro.control.policies import AllocationPolicy
     from repro.telemetry import TelemetryRegistry
 
@@ -100,6 +103,12 @@ class ControlPlaneEngine:
         self._plan_cache: "OrderedDict[Tuple, AllocationPlan]" = OrderedDict()
         self.allocations_performed = 0
         self.plan_changes = 0
+        #: live cluster state feeding ControlContext snapshots and the
+        #: dispatch-time routing probes (attached by the simulation runner)
+        self.cluster_state: Optional["ClusterStateProvider"] = None
+        #: previous-period telemetry counter readings for window deltas
+        self._window_marker: Optional[Tuple[float, float, float, float]] = None
+        self.last_context: Optional[ControlContext] = None
         self.telemetry: Optional["TelemetryRegistry"] = None
         if telemetry is not None:
             self.attach_telemetry(telemetry)
@@ -118,6 +127,70 @@ class ControlPlaneEngine:
         self._tele_allocations = registry.counter("control.allocations")
         self._tele_refreshes = registry.counter("control.routing_refreshes")
         self._tele_workers = registry.gauge("control.planned_workers")
+
+    def attach_cluster_state(self, provider: "ClusterStateProvider") -> None:
+        """Attach the live cluster-state provider (the simulator's cluster).
+
+        The provider feeds two read paths: per-control-period
+        :class:`~repro.control.context.ClusterView` snapshots inside the
+        :class:`~repro.control.context.ControlContext`, and the
+        ``queue_snapshot`` probe that dynamic routing choosers consult per
+        draw on the dispatch hot path.
+        """
+        self.cluster_state = provider
+
+    # -- context assembly --------------------------------------------------------
+    def build_context(self, now_s: float, commit: bool = False) -> ControlContext:
+        """Assemble a :class:`ControlContext` for ``now_s``.
+
+        No RNG is consumed and no simulator state is touched, so context
+        assembly cannot perturb a run (policies that ignore the context
+        behave bit-for-bit as before the redesign).  The telemetry window
+        spans everything since the *last committed* context; only
+        :meth:`step` passes ``commit=True``, so out-of-band callers (tests,
+        dashboards, curious policies) get a pure read that cannot shorten
+        the window the feedback loop integrates.
+        """
+        provider = self.cluster_state
+        view = provider.cluster_view(now_s) if provider is not None else ClusterView.empty(now_s)
+        ctx = ControlContext(
+            now_s=now_s,
+            view=view,
+            window=self._telemetry_window(now_s, commit),
+            latency_slo_ms=self.latency_slo_ms,
+        )
+        self.last_context = ctx
+        return ctx
+
+    def _telemetry_window(self, now_s: float, commit: bool) -> TelemetryWindow:
+        registry = self.telemetry
+        if registry is None:
+            return TelemetryWindow(demand_qps=self.allocation.routing_demand_qps())
+
+        def counter_value(name: str) -> float:
+            metric = registry.get(name)
+            return metric.value if metric is not None else 0.0
+
+        completed = counter_value("requests.completed")
+        dropped = counter_value("requests.dropped")
+        late = counter_value("requests.late")
+        marker = self._window_marker
+        if commit:
+            self._window_marker = (now_s, completed, dropped, late)
+        if marker is None:
+            marker = (now_s, 0.0, 0.0, 0.0)
+        latency = registry.get("requests.latency_ms")
+        p50 = latency.quantile(0.5) if latency is not None else math.nan
+        p99 = latency.quantile(0.99) if latency is not None else math.nan
+        return TelemetryWindow(
+            window_s=max(0.0, now_s - marker[0]),
+            completed=int(completed - marker[1]),
+            dropped=int(dropped - marker[2]),
+            late=int(late - marker[3]),
+            p50_latency_ms=p50,
+            p99_latency_ms=p99,
+            demand_qps=self.allocation.routing_demand_qps(),
+        )
 
     # -- reporting API (frontend / worker heartbeats) ---------------------------
     def report_demand(self, timestamp_s: float, demand_qps: float) -> None:
@@ -151,12 +224,21 @@ class ControlPlaneEngine:
     def step(self, now_s: float, force: bool = False) -> Tuple[Optional[AllocationPlan], Optional[RoutingPlan]]:
         """Run one control-loop tick: re-allocate and/or refresh routing as needed.
 
-        Returns the (possibly new) allocation plan and routing plan; either may
-        be ``None`` when nothing changed this tick.
+        Each tick assembles one :class:`~repro.control.context.ControlContext`
+        (live ClusterView + telemetry window) that both the allocation policy
+        and the routing refresh consume.  Returns the (possibly new)
+        allocation plan and routing plan; either may be ``None`` when nothing
+        changed this tick.
         """
+        ctx = self.build_context(now_s, commit=True)
+        # Every policy observes every period's context (feedback loops must
+        # integrate each telemetry window, not just the reallocation-time
+        # one), and only then decides whether to reallocate — an urgent
+        # SLO-error trigger acts on this tick's signal, not last period's.
+        self.allocation.on_context(ctx)
         new_plan = None
         if force or self.allocation.should_reallocate(now_s):
-            plan = self.allocation.allocate(now_s)
+            plan = self.allocation.run_allocation(ctx)
             if self.telemetry is not None:
                 self._tele_allocations.inc()
             if self._plan_differs(plan):
@@ -178,12 +260,30 @@ class ControlPlaneEngine:
                 self.current_workers,
                 self.allocation.routing_demand_qps(),
                 self.allocation.multiplier_snapshot(),
+                view=ctx.view,
             )
             self.current_routing = new_routing
+            self._bind_dynamic_choosers(new_routing)
             self.allocation.on_routing(new_routing)
             if self.telemetry is not None:
                 self._tele_refreshes.inc()
         return new_plan, new_routing
+
+    def _bind_dynamic_choosers(self, routing: RoutingPlan) -> None:
+        """Bind the live queue probe to every dynamic chooser in a fresh plan.
+
+        Static plans carry no choosers, so this is a cheap no-op walk for
+        them; with no cluster attached the choosers are bound to ``None`` and
+        decline every draw (static fallback).
+        """
+        probe = self.cluster_state.queue_snapshot if self.cluster_state is not None else None
+        bound = set()
+        tables = (routing.frontend_table, *routing.worker_tables.values())
+        for table in tables:
+            chooser = table.dynamic
+            if chooser is not None and id(chooser) not in bound:
+                chooser.bind_probe(probe)
+                bound.add(id(chooser))
 
     def _plan_differs(self, plan: AllocationPlan) -> bool:
         if self.current_plan is None:

@@ -1,12 +1,21 @@
 """Allocation-policy plug point of the unified control plane.
 
-An :class:`AllocationPolicy` decides *what to run*: given the engine's demand
-estimate it produces an :class:`~repro.core.allocation.AllocationPlan`.  The
-base class implements the generic machinery every periodic control plane
-shares — interval-based reallocation, demand-quantum provisioning targets and
-fingerprint-keyed LRU plan caching — so concrete policies usually override
-only :meth:`build_plan` (and :meth:`fingerprint` when their plans depend on
-more runtime state than the multiplier estimates).
+An :class:`AllocationPolicy` decides *what to run*: given a
+:class:`~repro.control.context.ControlContext` (the engine's per-period
+snapshot of live cluster state and telemetry) it produces an
+:class:`~repro.core.allocation.AllocationPlan`.  The base class implements
+the generic machinery every periodic control plane shares — interval-based
+reallocation, demand-quantum provisioning targets and fingerprint-keyed LRU
+plan caching — so concrete policies usually override only :meth:`build_plan`
+(and :meth:`fingerprint` when their plans depend on more runtime state than
+the multiplier estimates).  Feedback-driven policies override
+:meth:`allocate` itself and consult the context: :class:`SLOFeedbackPolicy`
+scales its capacity target from the observed p99-vs-SLO error.
+
+The pre-feedback signature ``allocate(now_s)`` keeps working: the engine
+dispatches through :meth:`AllocationPolicy.run_allocation`, which detects a
+legacy override, emits one :class:`DeprecationWarning` per policy instance
+and calls it with ``ctx.now_s``.
 
 Policies are registered by name (:func:`register_allocation_policy`); Loki's
 two-step MILP allocator (:class:`repro.core.controller.Controller`) and the
@@ -16,9 +25,12 @@ the same :class:`~repro.control.engine.ControlPlaneEngine`.
 
 from __future__ import annotations
 
+import inspect
 import math
+import warnings
 from typing import Callable, Dict, Optional, Tuple, TYPE_CHECKING
 
+from repro.control.context import ControlContext
 from repro.core.allocation import AllocationPlan
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -29,6 +41,7 @@ __all__ = [
     "AllocationPolicy",
     "LokiAllocationPolicy",
     "StaticPlanPolicy",
+    "SLOFeedbackPolicy",
     "DelegatingAllocationPolicy",
     "ALLOCATION_POLICIES",
     "register_allocation_policy",
@@ -111,9 +124,65 @@ class AllocationPolicy:
             return True
         return now_s - engine.last_allocation_s >= engine.reallocation_interval_s
 
-    def allocate(self, now_s: float) -> AllocationPlan:
-        """One allocation round: target -> cache lookup -> ``build_plan`` on miss."""
+    #: classification of the subclass's allocate override: None = not yet
+    #: inspected, True = legacy ``allocate(now_s)``, False = context-aware
+    _allocate_is_legacy: Optional[bool] = None
+
+    def run_allocation(self, ctx: ControlContext) -> AllocationPlan:
+        """Engine entry point: dispatch to :meth:`allocate`, shimming legacy overrides.
+
+        A policy written against the pre-feedback API (``allocate(now_s)``)
+        is detected by its signature, warned about once per instance, and
+        called with ``ctx.now_s``; context-aware policies receive the full
+        :class:`~repro.control.context.ControlContext`.
+        """
+        if self._allocate_is_legacy is None:
+            self._allocate_is_legacy = self._classify_allocate()
+        if self._allocate_is_legacy:
+            return self.allocate(ctx.now_s)
+        return self.allocate(ctx)
+
+    def _classify_allocate(self) -> bool:
+        fn = type(self).allocate
+        if fn is AllocationPolicy.allocate:
+            return False
+        try:
+            parameters = list(inspect.signature(fn).parameters.values())
+        except (TypeError, ValueError):  # C callables: assume context-aware
+            return False
+        positional = [
+            p
+            for p in parameters[1:]  # drop self
+            if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+        ]
+        if positional:
+            first = positional[0]
+            if first.name in ("ctx", "context"):
+                return False
+            # An annotation naming ControlContext also marks a context-aware
+            # override, whatever the parameter is called.
+            if "ControlContext" in str(first.annotation):
+                return False
+        if any(p.kind is p.VAR_POSITIONAL for p in parameters):
+            return False
+        warnings.warn(
+            f"{type(self).__name__}.allocate(now_s) is deprecated; accept a "
+            "ControlContext (`allocate(ctx)`, ctx.now_s carries the timestamp) — "
+            "see the 'Feedback control' section of the README for migration notes",
+            DeprecationWarning,
+            stacklevel=4,
+        )
+        return True
+
+    def allocate(self, ctx) -> AllocationPlan:
+        """One allocation round: target -> cache lookup -> ``build_plan`` on miss.
+
+        ``ctx`` is normally a :class:`~repro.control.context.ControlContext`;
+        a bare timestamp is still accepted so legacy subclasses that delegate
+        to ``super().allocate(now_s)`` keep working.
+        """
         engine = self.engine
+        now_s = ctx.now_s if isinstance(ctx, ControlContext) else float(ctx)
         target = self.provisioning_target_qps()
         key = (round(target, 3), self.fingerprint())
         plan = engine.plan_cache_get(key)
@@ -128,6 +197,11 @@ class AllocationPolicy:
         raise NotImplementedError
 
     # -- notifications ---------------------------------------------------------
+    def on_context(self, ctx: ControlContext) -> None:
+        """Called with every control period's context, before the reallocation
+        decision — feedback policies fold each telemetry window into their
+        controller state here so no window is skipped between allocations."""
+
     def on_routing(self, routing: "RoutingPlan") -> None:
         """Called after every routing refresh (Loki records it in the Metadata Store)."""
 
@@ -169,7 +243,8 @@ class LokiAllocationPolicy(AllocationPolicy):
     def should_reallocate(self, now_s: float) -> bool:
         return self.resource_manager.should_reallocate(now_s)
 
-    def allocate(self, now_s: float) -> AllocationPlan:
+    def allocate(self, ctx) -> AllocationPlan:
+        now_s = ctx.now_s if isinstance(ctx, ControlContext) else float(ctx)
         plan = self.resource_manager.allocate(now_s)
         self.engine.last_allocation_s = now_s
         return plan
@@ -193,6 +268,147 @@ class StaticPlanPolicy(AllocationPolicy):
 
     def build_plan(self, target_demand_qps: float) -> AllocationPlan:
         return self.plan
+
+
+@register_allocation_policy
+class SLOFeedbackPolicy(AllocationPolicy):
+    """SLO-feedback allocation: PID-style scaling of the MILP's capacity target.
+
+    The generic provisioning path plans from the demand estimate alone; this
+    policy closes the loop on observed service quality.  Each control period
+    it reads the :class:`~repro.control.context.ControlContext` and computes a
+    normalised error
+
+    ``error = latency_error + violation_weight * window_violation_rate - violation_target``
+
+    where ``latency_error = (p99 - SLO) / SLO``.  The p99 estimate is the
+    run's streaming quantile, which is deliberately *sticky* after a
+    transient; a positive latency error therefore only counts while the
+    current window actually shows SLO violations — once a window comes back
+    clean the error turns negative (``-violation_target``) and the integral
+    bleeds the boost away.  The error is clamped to ``[-1, error_clamp]``,
+    integrated with anti-windup, and the provisioning target is scaled by
+    ``1 + kp*error + ki*integral`` (clamped to ``[scale_min, scale_max]`` and
+    quantised to ``scale_quantum`` so heartbeat-level jitter does not churn
+    plans — every distinct scale is a distinct MILP, and plan churn costs
+    model reloads).  ``scale_max`` defaults to 2.0: far enough to double the
+    provisioned capacity, small enough to usually stay in the
+    hardware-scaling regime instead of forcing accuracy scaling (which swaps
+    variants on every worker — each swap is a model reload).
+
+    A large error additionally triggers an *urgent* reallocation after
+    ``urgent_interval_s`` instead of waiting out the full reallocation
+    interval — the piece that lets the policy chase a flash crowd faster than
+    its demand EWMA alone would.
+    """
+
+    name = "slo_feedback"
+
+    def __init__(
+        self,
+        kp: float = 1.5,
+        ki: float = 0.5,
+        violation_weight: float = 1.0,
+        violation_target: float = 0.05,
+        error_clamp: float = 2.0,
+        integral_clamp: float = 2.0,
+        scale_min: float = 1.0,
+        scale_max: float = 2.0,
+        scale_quantum: float = 0.25,
+        urgent_error: float = 0.25,
+        urgent_interval_s: float = 1.0,
+        communication_latency_ms: float = 2.0,
+        solver_backend: str = "auto",
+    ):
+        super().__init__()
+        self.kp = float(kp)
+        self.ki = float(ki)
+        self.violation_weight = float(violation_weight)
+        self.violation_target = float(violation_target)
+        self.error_clamp = float(error_clamp)
+        self.integral_clamp = float(integral_clamp)
+        self.scale_min = float(scale_min)
+        self.scale_max = float(scale_max)
+        self.scale_quantum = float(scale_quantum)
+        self.urgent_error = float(urgent_error)
+        self.urgent_interval_s = float(urgent_interval_s)
+        self.communication_latency_ms = float(communication_latency_ms)
+        self.solver_backend = solver_backend
+        self.error = 0.0
+        self.integral = 0.0
+        self.scale = 1.0
+
+    # -- feedback loop ---------------------------------------------------------
+    def on_context(self, ctx: ControlContext) -> None:
+        self.observe(ctx)
+
+    def observe(self, ctx: ControlContext) -> float:
+        """Fold one control period's telemetry into the controller state.
+
+        Runs on *every* control tick (via :meth:`on_context`), not only when
+        an allocation happens — the integral covers each telemetry window
+        exactly once, and :meth:`should_reallocate`'s urgent trigger always
+        compares against the current tick's error.
+        """
+        window = ctx.window
+        slo_ms = self.engine.latency_slo_ms if self.engine is not None else ctx.latency_slo_ms
+        violation_rate = window.violation_rate
+        latency_error = 0.0
+        p99 = window.p99_latency_ms
+        if slo_ms > 0.0 and p99 == p99:  # NaN-safe: no samples yet -> no latency term
+            latency_error = (p99 - slo_ms) / slo_ms
+            if latency_error > 0.0 and violation_rate == 0.0:
+                # The streaming p99 remembers the last transient; without live
+                # violations it must not keep the boost alive.
+                latency_error = 0.0
+        error = latency_error + self.violation_weight * violation_rate - self.violation_target
+        error = max(-1.0, min(self.error_clamp, error))
+        dt = window.window_s if window.window_s > 0.0 else 1.0
+        self.integral = max(
+            -self.integral_clamp, min(self.integral_clamp, self.integral + error * dt)
+        )
+        self.error = error
+        raw = 1.0 + self.kp * error + self.ki * self.integral
+        if self.scale_quantum > 0.0:
+            raw = round(raw / self.scale_quantum) * self.scale_quantum
+        self.scale = max(self.scale_min, min(self.scale_max, raw))
+        return self.scale
+
+    def should_reallocate(self, now_s: float) -> bool:
+        if super().should_reallocate(now_s):
+            return True
+        # Urgent reallocations are part of the feedback loop; with the gains
+        # zeroed (the "static allocation" baseline) the policy is a plain
+        # interval-driven allocator.
+        if self.kp == 0.0 and self.ki == 0.0:
+            return False
+        if self.error >= self.urgent_error and self.engine.last_allocation_s is not None:
+            return now_s - self.engine.last_allocation_s >= self.urgent_interval_s
+        return False
+
+    # -- provisioning ----------------------------------------------------------
+    def provisioning_target_qps(self) -> float:
+        return super().provisioning_target_qps() * self.scale
+
+    def fingerprint(self) -> Tuple:
+        # The scale multiplies the (quantised) target, which is already part
+        # of the cache key; quantising it here again keeps distinct feedback
+        # states from colliding when the quantum rounds them together.
+        return (round(self.scale, 2), multiplier_fingerprint(self.engine.multiplier_estimates))
+
+    def build_plan(self, target_demand_qps: float) -> AllocationPlan:
+        from repro.core.allocation import AllocationProblem
+
+        engine = self.engine
+        problem = AllocationProblem(
+            pipeline=engine.pipeline,
+            num_workers=engine.num_workers,
+            latency_slo_ms=engine.latency_slo_ms,
+            communication_latency_ms=self.communication_latency_ms,
+            multiplicative_factors=engine.multiplier_estimates,
+            solver_backend=self.solver_backend,
+        )
+        return problem.solve(target_demand_qps)
 
 
 class DelegatingAllocationPolicy(AllocationPolicy):

@@ -20,11 +20,34 @@ demand at the root, then propagate multiplier-scaled demand task by task in
 topological order, collecting leftover capacity into the backup tables used
 for opportunistic rerouting.  A policy only decides how one parcel of demand
 is split across one task's workers.
+
+Since the feedback-control redesign routing also has a second, dispatch-time
+plug point: a :class:`DynamicChooser` attached to the routing tables a policy
+builds.  Table-generation policies decide *probabilities once per refresh*;
+a dynamic chooser decides *individual draws* against live queue state probed
+from the cluster (``queue_snapshot``).  Two queue-aware policies ship on it:
+
+* ``jsq`` — true join-shortest-queue: every draw goes to the candidate with
+  the least expected wait (backlog / service rate) right now;
+* ``adaptive_p2c`` — live power-of-two-choices with stale-tolerance: two
+  candidates are sampled per draw and compared on cached queue state that is
+  re-probed every ``stale_draws`` draws, trading probe cost for boundedly
+  stale information (the classic d=2 load-balancing result).
+
+In batched dispatch mode choosers re-draw in bounded chunks
+(``SimulationConfig.batch_route_chunk``): the probe is refreshed at every
+chunk boundary and the chooser's own virtual placements (one expected-wait
+increment per routed query) spread load within a chunk, so staleness is
+bounded by the chunk size instead of a whole arrival burst.
 """
 
 from __future__ import annotations
 
+import math
+import warnings
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.load_balancer import (
     MostAccurateFirst,
@@ -32,6 +55,7 @@ from repro.core.load_balancer import (
     RoutingPlan,
     RoutingTable,
     WorkerState,
+    _accepts_keyword,
 )
 from repro.core.pipeline import Pipeline
 
@@ -41,6 +65,11 @@ __all__ = [
     "LeastLoadedRouting",
     "WeightedRandomRouting",
     "PowerOfTwoChoicesRouting",
+    "DynamicChooser",
+    "JSQChooser",
+    "AdaptiveP2CChooser",
+    "JSQRouting",
+    "AdaptiveP2CRouting",
     "ROUTING_POLICIES",
     "register_routing_policy",
     "make_routing_policy",
@@ -48,7 +77,7 @@ __all__ = [
 
 
 class RoutingPolicy:
-    """Protocol: anything with ``build(workers, demand_qps, factors) -> RoutingPlan``."""
+    """Protocol: anything with ``build(workers, demand_qps, factors, view=None) -> RoutingPlan``."""
 
     name = "routing"
 
@@ -60,6 +89,7 @@ class RoutingPolicy:
         workers: Sequence[WorkerState],
         demand_qps: float,
         multiplicative_factors: Optional[Mapping[str, float]] = None,
+        view=None,
     ) -> RoutingPlan:
         raise NotImplementedError
 
@@ -92,18 +122,55 @@ class TrafficSplitPolicy(RoutingPolicy):
 
     Subclasses implement :meth:`split`, which decides how one parcel of demand
     is divided across one task's workers given their current spare capacity.
+    The current signature is ``split(workers, demand_qps, view)``, where
+    ``view`` is the :class:`~repro.control.context.ClusterView` of the control
+    period triggering the refresh (or ``None`` outside an engine).  The
+    pre-feedback two-argument form still works through a deprecation shim
+    (one :class:`DeprecationWarning` per policy instance).
     """
 
-    def split(self, workers: Sequence[WorkerState], demand_qps: float) -> List[float]:
+    #: classification of the subclass's split override: None = not yet
+    #: inspected, True = legacy two-argument form, False = view-aware
+    _split_is_legacy: Optional[bool] = None
+
+    def split(
+        self, workers: Sequence[WorkerState], demand_qps: float, view=None
+    ) -> List[float]:
         """Amounts (aligned with ``workers``) with ``amount_i <= remaining_i``
         and ``sum(amounts) <= demand_qps``."""
         raise NotImplementedError
+
+    def _split_parcel(self, workers, demand_qps, view):
+        """Call :meth:`split`, shimming legacy overrides.
+
+        Classification is name-based, mirroring the allocation shim: only an
+        override that accepts a ``view`` keyword (explicitly or via
+        ``**kwargs``) is view-aware.  Counting parameters instead would
+        silently bind the ClusterView to an unrelated defaulted parameter of
+        a legacy override.
+        """
+        if self._split_is_legacy is None:
+            fn = type(self).split
+            legacy = not _accepts_keyword(fn, "view")
+            if legacy:
+                warnings.warn(
+                    f"{type(self).__name__}.split(workers, demand_qps) is deprecated; "
+                    "accept a `view` keyword argument (ClusterView) — see the "
+                    "'Feedback control' section of the README for migration notes",
+                    DeprecationWarning,
+                    stacklevel=3,
+                )
+            self._split_is_legacy = legacy
+        if self._split_is_legacy:
+            return self.split(workers, demand_qps)
+        return self.split(workers, demand_qps, view=view)
 
     def build(
         self,
         workers: Sequence[WorkerState],
         demand_qps: float,
         multiplicative_factors: Optional[Mapping[str, float]] = None,
+        view=None,
     ) -> RoutingPlan:
         multiplicative_factors = dict(multiplicative_factors or {})
         by_task: Dict[str, List[WorkerState]] = {}
@@ -118,7 +185,7 @@ class TrafficSplitPolicy(RoutingPolicy):
         unplaced: Dict[str, float] = {}
 
         root = self.pipeline.root
-        placed = self._route_parcel(frontend_table, by_task.get(root, []), root, demand_qps)
+        placed = self._route_parcel(frontend_table, by_task.get(root, []), root, demand_qps, view)
         if demand_qps > 0:
             unplaced[root] = max(0.0, (demand_qps - placed) / demand_qps)
 
@@ -133,7 +200,9 @@ class TrafficSplitPolicy(RoutingPolicy):
                     outgoing = worker.incoming_qps * factor * edge.branch_ratio
                     if outgoing <= 1e-12:
                         continue
-                    placed = self._route_parcel(table, by_task.get(edge.child, []), edge.child, outgoing)
+                    placed = self._route_parcel(
+                        table, by_task.get(edge.child, []), edge.child, outgoing, view
+                    )
                     shortfall = (outgoing - placed) / outgoing
                     unplaced[edge.child] = max(unplaced.get(edge.child, 0.0), max(0.0, shortfall))
 
@@ -146,12 +215,17 @@ class TrafficSplitPolicy(RoutingPolicy):
         )
 
     def _route_parcel(
-        self, table: RoutingTable, destinations: List[WorkerState], task: str, demand_qps: float
+        self,
+        table: RoutingTable,
+        destinations: List[WorkerState],
+        task: str,
+        demand_qps: float,
+        view=None,
     ) -> float:
         """Split one parcel across ``destinations``, append entries, return placed qps."""
         if demand_qps <= 1e-12 or not destinations:
             return 0.0
-        amounts = self.split(destinations, demand_qps)
+        amounts = self._split_parcel(destinations, demand_qps, view)
         placed = 0.0
         for worker, amount in zip(destinations, amounts):
             if amount <= 1e-12:
@@ -182,7 +256,7 @@ class LeastLoadedRouting(TrafficSplitPolicy):
 
     name = "least_loaded"
 
-    def split(self, workers: Sequence[WorkerState], demand_qps: float) -> List[float]:
+    def split(self, workers: Sequence[WorkerState], demand_qps: float, view=None) -> List[float]:
         n = len(workers)
         loads = [w.incoming_qps for w in workers]
         spares = [max(0.0, w.remaining_capacity_qps) for w in workers]
@@ -219,7 +293,7 @@ class WeightedRandomRouting(TrafficSplitPolicy):
 
     name = "weighted_random"
 
-    def split(self, workers: Sequence[WorkerState], demand_qps: float) -> List[float]:
+    def split(self, workers: Sequence[WorkerState], demand_qps: float, view=None) -> List[float]:
         weights = [max(0.0, w.capacity_qps) for w in workers]
         return _proportional_fill(workers, weights, demand_qps)
 
@@ -239,13 +313,264 @@ class PowerOfTwoChoicesRouting(TrafficSplitPolicy):
 
     name = "power_of_two"
 
-    def split(self, workers: Sequence[WorkerState], demand_qps: float) -> List[float]:
+    def split(self, workers: Sequence[WorkerState], demand_qps: float, view=None) -> List[float]:
         n = len(workers)
         order = sorted(range(n), key=lambda i: (workers[i].remaining_capacity_qps, workers[i].worker_id))
         weights = [0.0] * n
         for rank, index in enumerate(order):
             weights[index] = (2 * rank + 1) / (n * n)
         return _proportional_fill(workers, weights, demand_qps)
+
+
+class _TableState:
+    """Per-(table, destination-task) live state cached by a dynamic chooser.
+
+    Keyed by the identity of the compiled entries tuple; holding the tuple
+    itself keeps it alive, so an ``id()`` can never be recycled while the
+    state is cached.  States are discarded wholesale whenever the probe is
+    re-bound (every routing refresh).
+    """
+
+    __slots__ = ("entries", "worker_ids", "waits", "rates", "age")
+
+    def __init__(self, entries: Tuple[RoutingEntry, ...]):
+        self.entries = entries
+        self.worker_ids = [e.worker_id for e in entries]
+        self.waits: List[float] = []
+        self.rates: List[float] = []
+        #: draws since the last probe refresh; -1 = never probed
+        self.age = -1
+
+
+class DynamicChooser:
+    """Dispatch-time plug point: override individual routing draws with live state.
+
+    A chooser is owned by its routing policy and attached to every table the
+    policy builds (:meth:`RoutingTable.set_dynamic`).  The engine binds a
+    ``queue_snapshot`` probe after each routing refresh; without a probe (no
+    simulator attached) every method declines and tables fall back to their
+    static compiled draw, so choosers degrade gracefully in analytic
+    harnesses.
+
+    Subclasses implement :meth:`_pick`: given refreshed per-entry expected
+    waits, select one entry index (consuming RNG only if the policy's draw is
+    randomised).  ``refresh_every`` bounds staleness in scalar dispatch; in
+    batched dispatch the probe refreshes at every chunk boundary instead.
+    """
+
+    name = "dynamic"
+
+    #: scalar-mode probe cadence, in draws (1 = probe live state every draw)
+    refresh_every = 1
+
+    def __init__(self):
+        self._probe = None
+        self._states: Dict[int, _TableState] = {}
+
+    def bind_probe(self, probe) -> None:
+        """Attach the live-state probe (or ``None``) and drop cached states."""
+        self._probe = probe
+        self._states.clear()
+
+    # -- state plumbing --------------------------------------------------------
+    def _state(self, entries: Tuple[RoutingEntry, ...]) -> _TableState:
+        key = id(entries)
+        state = self._states.get(key)
+        if state is None or state.entries is not entries:
+            state = _TableState(entries)
+            self._states[key] = state
+        return state
+
+    def _refresh(self, state: _TableState) -> bool:
+        """Re-probe live backlog; False when no destination is serviceable.
+
+        An unserviceable probe leaves ``waits`` empty so cached-path draws
+        also decline (static fallback) until the next probe rebind.
+        """
+        backlogs, rates = self._probe(state.worker_ids)
+        waits = [
+            backlog / rate if rate > 0.0 else math.inf
+            for backlog, rate in zip(backlogs, rates)
+        ]
+        state.rates = rates
+        state.age = 0
+        if not any(wait < math.inf for wait in waits):
+            state.waits = []
+            return False
+        state.waits = waits
+        return True
+
+    def _place(self, state: _TableState, index: int) -> None:
+        """Account a virtual placement: one more query's expected wait."""
+        rate = state.rates[index]
+        if rate > 0.0:
+            state.waits[index] += 1.0 / rate
+
+    # -- selection (subclass hook) ---------------------------------------------
+    def _pick(self, state: _TableState, rng: np.random.Generator) -> int:
+        raise NotImplementedError
+
+    # -- RoutingTable entry points -----------------------------------------------
+    def choose_index(self, entries: Tuple[RoutingEntry, ...], rng) -> Optional[int]:
+        """One live draw; ``None`` defers to the table's static sampler."""
+        if self._probe is None:
+            return None
+        state = self._state(entries)
+        if state.age < 0 or state.age >= self.refresh_every:
+            if not self._refresh(state):
+                return None
+        elif not state.waits:
+            return None
+        state.age += 1
+        index = self._pick(state, rng)
+        self._place(state, index)
+        return index
+
+    def choose_chunk_series(
+        self, entries: Tuple[RoutingEntry, ...], rng, size: int, chunk: Optional[int]
+    ) -> Optional[np.ndarray]:
+        """Batched draws in bounded chunks; ``None`` defers to the static sampler.
+
+        The probe is refreshed at every chunk boundary and the chooser's own
+        virtual placements spread load inside a chunk, bounding staleness by
+        the chunk size instead of the whole burst.
+        """
+        if self._probe is None:
+            return None
+        state = self._state(entries)
+        if not self._refresh(state):
+            return None
+        out = np.empty(size, dtype=np.intp)
+        step = int(chunk) if chunk else size
+        if step < 1:
+            step = 1
+        pick = self._pick
+        place = self._place
+        position = 0
+        while position < size:
+            if position:
+                held = (state.waits, state.rates)
+                if not self._refresh(state):
+                    # The probe turned unserviceable mid-burst (possible with
+                    # third-party providers): keep drawing from the previous
+                    # chunk's serviceable snapshot instead of crashing.
+                    state.waits, state.rates = held
+            stop = size if size - position < step else position + step
+            for slot in range(position, stop):
+                index = pick(state, rng)
+                out[slot] = index
+                place(state, index)
+            position = stop
+        return out
+
+
+class JSQChooser(DynamicChooser):
+    """True join-shortest-queue: argmin of live expected wait, every draw.
+
+    Expected wait is ``(queue depth + in-flight) / service rate``, which makes
+    the comparison meaningful across heterogeneous workers (a deep queue on a
+    fast variant can still be the best choice).  Ties break toward the first
+    (most preferred) routing entry; no RNG is consumed.
+    """
+
+    name = "jsq"
+
+    def _pick(self, state: _TableState, rng: np.random.Generator) -> int:
+        waits = state.waits
+        best = 0
+        best_wait = waits[0]
+        for index in range(1, len(waits)):
+            wait = waits[index]
+            if wait < best_wait:
+                best = index
+                best_wait = wait
+        return best
+
+
+class AdaptiveP2CChooser(DynamicChooser):
+    """Live power-of-two-choices with stale-tolerance.
+
+    Each draw samples two candidates uniformly (two ``rng.random()`` calls —
+    a fixed per-draw RNG cost) and keeps the one with the smaller cached
+    expected wait; the cache is re-probed every ``stale_draws`` draws.
+    Between probes the chooser's own virtual placements keep the comparison
+    honest, so tolerating staleness costs accuracy only against *other*
+    sources of load — the d=2 trade that makes power-of-two practical when
+    probing every draw is too expensive.
+    """
+
+    name = "adaptive_p2c"
+
+    def __init__(self, stale_draws: int = 32):
+        super().__init__()
+        if stale_draws < 1:
+            raise ValueError("stale_draws must be >= 1")
+        self.refresh_every = int(stale_draws)
+
+    def _pick(self, state: _TableState, rng: np.random.Generator) -> int:
+        waits = state.waits
+        n = len(waits)
+        first = int(rng.random() * n)
+        second = int(rng.random() * n)
+        choice = first if waits[first] <= waits[second] else second
+        if waits[choice] == math.inf:
+            # Both sampled candidates are dead (failed/unhosted).  A live one
+            # exists — the refresh guarantees it — so honour the route-around-
+            # failures contract with a full scan instead of routing into a
+            # black hole for the rest of the stale window.
+            choice = min(range(n), key=waits.__getitem__)
+        return choice
+
+
+class _DynamicTableRouting(WeightedRandomRouting):
+    """Shared base of the queue-aware policies: capacity-weighted tables
+    (every worker with capacity gets an entry, so the live chooser sees the
+    full candidate set and the static fallback remains sensible) plus one
+    chooser attached to every table of the plan."""
+
+    def __init__(self, pipeline: Pipeline, **chooser_kwargs):
+        super().__init__(pipeline)
+        self.chooser = self._make_chooser(**chooser_kwargs)
+
+    def _make_chooser(self, **kwargs) -> DynamicChooser:
+        raise NotImplementedError
+
+    def build(
+        self,
+        workers: Sequence[WorkerState],
+        demand_qps: float,
+        multiplicative_factors: Optional[Mapping[str, float]] = None,
+        view=None,
+    ) -> RoutingPlan:
+        plan = super().build(workers, demand_qps, multiplicative_factors, view=view)
+        chooser = self.chooser
+        plan.frontend_table.set_dynamic(chooser)
+        for table in plan.worker_tables.values():
+            table.set_dynamic(chooser)
+        return plan
+
+
+@register_routing_policy
+class JSQRouting(_DynamicTableRouting):
+    """Live join-shortest-queue dispatch over capacity-weighted tables."""
+
+    name = "jsq"
+
+    def _make_chooser(self) -> DynamicChooser:
+        return JSQChooser()
+
+
+@register_routing_policy
+class AdaptiveP2CRouting(_DynamicTableRouting):
+    """Live power-of-two-choices dispatch with bounded-staleness probing."""
+
+    name = "adaptive_p2c"
+
+    def __init__(self, pipeline: Pipeline, stale_draws: int = 32):
+        super().__init__(pipeline, stale_draws=stale_draws)
+
+    def _make_chooser(self, stale_draws: int = 32) -> DynamicChooser:
+        return AdaptiveP2CChooser(stale_draws=stale_draws)
 
 
 def _proportional_fill(

@@ -131,6 +131,10 @@ class Controller:
     def attach_telemetry(self, registry: "TelemetryRegistry") -> None:
         self.engine.attach_telemetry(registry)
 
+    def attach_cluster_state(self, provider) -> None:
+        """Forward the live cluster-state provider to the unified engine."""
+        self.engine.attach_cluster_state(provider)
+
     # -- engine state (pre-refactor API) -----------------------------------------
     @property
     def load_balancer(self) -> LoadBalancer:

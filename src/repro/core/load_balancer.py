@@ -21,6 +21,7 @@ that upstream workers use for opportunistic rerouting (Section 5.2).
 
 from __future__ import annotations
 
+import inspect
 import math
 from bisect import bisect_right
 from dataclasses import dataclass, field
@@ -90,14 +91,25 @@ class RoutingTable:
     consumers.  The compiled inverse-CDF draw consumes one uniform per query
     and performs the same float comparisons as the previous
     ``np.searchsorted`` implementation, so sampled routes are bit-identical.
+
+    Tables additionally carry an optional **dynamic chooser**
+    (:attr:`dynamic`, see :class:`repro.control.routing.DynamicChooser`): a
+    dispatch-time plug point that queue-aware routing policies use to override
+    individual draws with live cluster state (true join-shortest-queue,
+    adaptive power-of-two).  Tables without a chooser — everything built by
+    the pre-existing static policies — take exactly the historical code path
+    and consume the RNG stream identically.
     """
 
-    __slots__ = ("_entries", "_compiled")
+    __slots__ = ("_entries", "_compiled", "dynamic")
 
     def __init__(self):
         self._entries: Dict[str, List[RoutingEntry]] = {}
         #: task -> (cumulative list, entries tuple, last index, CompiledSampler)
         self._compiled: Dict[str, Tuple[List[float], Tuple[RoutingEntry, ...], int, CompiledSampler]] = {}
+        #: optional dispatch-time chooser consulted per draw (and per chunk in
+        #: batched mode); ``None`` means purely static table sampling
+        self.dynamic = None
 
     def add(self, destination_task: str, entry: RoutingEntry) -> None:
         self._entries.setdefault(destination_task, []).append(entry)
@@ -129,14 +141,28 @@ class RoutingTable:
         compiled = self._compiled.get(destination_task) or self._compile(destination_task)
         return compiled[3] if compiled is not None else None
 
+    def set_dynamic(self, chooser) -> None:
+        """Attach (or clear) the dispatch-time dynamic chooser."""
+        self.dynamic = chooser
+
     def choose(self, destination_task: str, rng: np.random.Generator) -> Optional[RoutingEntry]:
-        """Sample a destination worker proportionally to the routing probabilities."""
+        """Sample a destination worker proportionally to the routing probabilities.
+
+        With a dynamic chooser attached, the draw is delegated to it (live
+        queue-aware selection); the chooser may decline (no probe bound, no
+        live destination) in which case the static compiled draw runs.
+        """
         compiled = self._compiled.get(destination_task)
         if compiled is None:
             compiled = self._compile(destination_task)
             if compiled is None:
                 return None
         cumulative, entries, last, _ = compiled
+        dynamic = self.dynamic
+        if dynamic is not None:
+            index = dynamic.choose_index(entries, rng)
+            if index is not None:
+                return entries[index]
         # Deliberately inlines CompiledSampler.choose_index (bisect + clamp):
         # this runs once per simulated query and the method call is measurable.
         index = bisect_right(cumulative, rng.random())
@@ -159,7 +185,12 @@ class RoutingTable:
         return [entries[i] for i in sampler.sample_indices(rng, size, method=method)]
 
     def choose_batch_indices(
-        self, destination_task: str, rng: np.random.Generator, size: int, method: str = "alias"
+        self,
+        destination_task: str,
+        rng: np.random.Generator,
+        size: int,
+        method: str = "alias",
+        chunk: Optional[int] = None,
     ) -> Optional[Tuple[Tuple[RoutingEntry, ...], np.ndarray]]:
         """Batched draw returning ``(entries, indices)`` instead of entry objects.
 
@@ -168,11 +199,23 @@ class RoutingTable:
         row) and then walks the index array, instead of materialising one
         entry object reference per query.  Returns ``None`` when the table
         has no (positive-probability) rows for the task.
+
+        With a dynamic chooser attached, the draw is delegated to it in
+        bounded chunks of ``chunk`` queries: the chooser re-probes live queue
+        state at each chunk boundary, so staleness within a burst is bounded
+        by the chunk size instead of a whole control interval.  Static tables
+        (no chooser) ignore ``chunk`` entirely and take the historical
+        single vectorized draw, so the knob cannot perturb their results.
         """
         compiled = self._compiled.get(destination_task) or self._compile(destination_task)
         if compiled is None:
             return None
         _, entries, _, sampler = compiled
+        dynamic = self.dynamic
+        if dynamic is not None:
+            indices = dynamic.choose_chunk_series(entries, rng, size, chunk)
+            if indices is not None:
+                return entries, indices
         return entries, sampler.sample_indices(rng, size, method=method)
 
     def is_empty(self) -> bool:
@@ -227,8 +270,14 @@ class MostAccurateFirst:
         workers: Sequence[WorkerState],
         demand_qps: float,
         multiplicative_factors: Optional[Mapping[str, float]] = None,
+        view=None,
     ) -> RoutingPlan:
-        """Produce routing tables for the given worker fleet and estimated demand."""
+        """Produce routing tables for the given worker fleet and estimated demand.
+
+        ``view`` (an optional :class:`repro.control.context.ClusterView`) is
+        part of the feedback-control API; Algorithm 1 routes from planned
+        capacity only and ignores it.
+        """
         multiplicative_factors = dict(multiplicative_factors or {})
         by_task: Dict[str, List[WorkerState]] = {}
         for worker in workers:
@@ -325,6 +374,17 @@ class MostAccurateFirst:
         return backups
 
 
+def _accepts_keyword(fn, name: str) -> bool:
+    """Whether ``fn`` can be called with keyword ``name`` (explicitly or via **kwargs)."""
+    try:
+        parameters = inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # builtins / C callables: assume modern surface
+        return True
+    if name in parameters:
+        return True
+    return any(p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values())
+
+
 class LoadBalancer:
     """Wraps a routing policy with the periodic-refresh behaviour of Section 5.
 
@@ -340,6 +400,9 @@ class LoadBalancer:
         self.pipeline = pipeline
         self.refresh_interval_s = float(refresh_interval_s)
         self.algorithm = policy if policy is not None else MostAccurateFirst(pipeline)
+        # Third-party algorithms may predate the feedback-control API and
+        # accept only (workers, demand_qps, factors); classify once.
+        self._build_accepts_view = _accepts_keyword(self.algorithm.build, "view")
         self.current_plan: Optional[RoutingPlan] = None
         self._last_refresh_s: Optional[float] = None
         self.refresh_count = 0
@@ -357,11 +420,15 @@ class LoadBalancer:
         workers: Sequence[WorkerState],
         demand_qps: float,
         multiplicative_factors: Optional[Mapping[str, float]] = None,
+        view=None,
     ) -> RoutingPlan:
         import time as _time
 
         start = _time.perf_counter()
-        plan = self.algorithm.build(workers, demand_qps, multiplicative_factors)
+        if self._build_accepts_view:
+            plan = self.algorithm.build(workers, demand_qps, multiplicative_factors, view=view)
+        else:
+            plan = self.algorithm.build(workers, demand_qps, multiplicative_factors)
         self.last_refresh_time_s = _time.perf_counter() - start
         self.total_refresh_time_s += self.last_refresh_time_s
         self.refresh_count += 1

@@ -102,6 +102,34 @@ BUILTIN_SCENARIOS = [
         control_overrides={"routing_policy": "least_loaded"},
     ),
     ScenarioSpec(
+        name="jsq_heterogeneous",
+        description="Heterogeneous single-task fleet under bursty MMPP arrivals, dispatched by live "
+        "join-shortest-queue (feedback-control API; compare routing_policy=least_loaded).",
+        pipeline="single_task",
+        num_workers=12,
+        slo_ms=150.0,
+        trace="constant",
+        trace_params={"qps": 1.0, "duration_s": 60},
+        peak_over_hardware=0.5,
+        arrival_process="mmpp",
+        arrival_params={"burst_intensity": 3.0, "p_enter_burst": 0.1, "p_exit_burst": 0.3},
+        control_overrides={"routing_policy": "jsq"},
+    ),
+    ScenarioSpec(
+        name="slo_feedback_flash_crowd",
+        description="Flash crowd on a lightly provisioned cluster; SLO-feedback allocation scales the "
+        "MILP's capacity target from observed p99-vs-SLO error (kp=ki=0 for the static baseline).",
+        pipeline="single_task",
+        system="slo_feedback",
+        num_workers=12,
+        slo_ms=150.0,
+        trace="constant",
+        trace_params={"qps": 1.0, "duration_s": 60},
+        peak_over_hardware=0.3,
+        arrival_process="flash_crowd",
+        arrival_params={"magnitude": 3.0, "spike_duration_s": 15.0},
+    ),
+    ScenarioSpec(
         name="validation_uniform",
         description="Variance-minimised validation run: evenly spaced arrivals, expected-value "
         "content model, jitter-free network.",

@@ -20,7 +20,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
-from repro.baselines import InferLineControlPlane, ProteusControlPlane
+from repro.baselines import BaselineControlPlane, InferLineControlPlane, ProteusControlPlane
 from repro.core import Controller, ControllerConfig
 from repro.core.allocation import AllocationProblem
 from repro.core.pipeline import Pipeline
@@ -37,7 +37,15 @@ from repro.workloads import (
 )
 from repro.zoo import build_pipeline
 
-__all__ = ["ScenarioSpec", "SYSTEM_FACTORIES", "TRACE_FACTORIES", "make_loki", "make_inferline", "make_proteus"]
+__all__ = [
+    "ScenarioSpec",
+    "SYSTEM_FACTORIES",
+    "TRACE_FACTORIES",
+    "make_loki",
+    "make_inferline",
+    "make_proteus",
+    "make_slo_feedback",
+]
 
 
 def make_loki(pipeline: Pipeline, num_workers: int, slo_ms: float, **overrides) -> Controller:
@@ -67,11 +75,52 @@ def make_proteus(pipeline: Pipeline, num_workers: int, slo_ms: float, **override
     return ProteusControlPlane(pipeline, num_workers, latency_slo_ms=slo_ms, **overrides)
 
 
-#: The serving systems a scenario can select (the three compared in Figs 5/6).
+def make_slo_feedback(pipeline: Pipeline, num_workers: int, slo_ms: float, **overrides) -> BaselineControlPlane:
+    """SLO-feedback allocation behind the unified engine (feedback-control API).
+
+    Controller gains and limits (``kp``/``ki``/``scale_max``...) pass through
+    ``control_overrides`` to :class:`~repro.control.policies.SLOFeedbackPolicy`;
+    everything else goes to the engine.  ``kp=0, ki=0`` degenerates to the
+    same MILP allocator with no feedback (interval-driven only, no urgent
+    reallocations) — the "static allocation" baseline the pinned comparisons
+    use.  Both run on the paper's 10 s reallocation interval; the feedback
+    policy earns its keep by reallocating out-of-band (``urgent_interval_s``)
+    when the observed SLO error spikes.
+    """
+    from repro.control.policies import SLOFeedbackPolicy
+
+    policy_keys = (
+        "kp",
+        "ki",
+        "violation_weight",
+        "violation_target",
+        "error_clamp",
+        "integral_clamp",
+        "scale_min",
+        "scale_max",
+        "scale_quantum",
+        "urgent_error",
+        "urgent_interval_s",
+        "communication_latency_ms",
+        "solver_backend",
+    )
+    policy_kwargs = {key: overrides.pop(key) for key in policy_keys if key in overrides}
+    return BaselineControlPlane(
+        pipeline,
+        num_workers,
+        latency_slo_ms=slo_ms,
+        allocation_policy=SLOFeedbackPolicy(**policy_kwargs),
+        **overrides,
+    )
+
+
+#: The serving systems a scenario can select (the three compared in Figs 5/6,
+#: plus the feedback-control study's SLO-feedback allocator).
 SYSTEM_FACTORIES: Dict[str, Callable] = {
     "loki": make_loki,
     "inferline": make_inferline,
     "proteus": make_proteus,
+    "slo_feedback": make_slo_feedback,
 }
 
 #: Named trace generators a scenario can select.

@@ -123,7 +123,13 @@ class Frontend:
 
         routing = sim.routing_plan
         drawn = (
-            routing.frontend_table.choose_batch_indices(root_task, sim.rng, count, method="alias")
+            routing.frontend_table.choose_batch_indices(
+                root_task,
+                sim.rng,
+                count,
+                method="alias",
+                chunk=sim.config.batch_route_chunk,
+            )
             if routing is not None
             else None
         )

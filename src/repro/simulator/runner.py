@@ -72,6 +72,13 @@ class SimulationConfig:
     #: whole arrival chunks through one vectorized draw per control interval
     #: (opt-in; statistically equivalent but on a different RNG stream)
     dispatch_mode: str = "scalar"
+    #: batched dispatch: *dynamic* routing policies (jsq/adaptive_p2c) re-draw
+    #: an arrival burst in chunks of this many queries, re-probing live queue
+    #: state at each chunk boundary — the bound on how stale a queue-aware
+    #: decision inside a burst can be.  Static policies route every burst
+    #: through one frozen-table draw regardless of this knob, so changing it
+    #: cannot change their results.
+    batch_route_chunk: int = 64
     drop_policy: str = "opportunistic_rerouting"
     content_mode: str = "poisson"
     network_latency_ms: float = 2.0
@@ -131,6 +138,12 @@ class ServingSimulation:
         if hasattr(control_plane, "attach_telemetry"):
             control_plane.attach_telemetry(self.telemetry)
         self.cluster = Cluster(self, self.config.num_workers)
+        # Feedback-control plumbing: control planes that understand live
+        # cluster state (the unified engine and its facades) get the cluster
+        # as their ClusterStateProvider — ControlContext snapshots each
+        # control period, queue_snapshot probes at dispatch time.
+        if hasattr(control_plane, "attach_cluster_state"):
+            control_plane.attach_cluster_state(self.cluster)
         self.frontend = Frontend(self, self.config.latency_slo_ms)
         self.metrics = MetricsCollector(
             cluster_size=self.config.num_workers,

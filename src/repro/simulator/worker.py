@@ -189,6 +189,29 @@ class SimWorker:
     def queue_length(self) -> int:
         return len(self.queue)
 
+    @property
+    def in_flight(self) -> int:
+        """Queries in the batch currently executing (0 when idle)."""
+        batch_event = self._batch_event
+        return len(batch_event.batch) if batch_event is not None else 0
+
+    @property
+    def service_rate_qps(self) -> float:
+        """Effective service rate of the configured batch, in queries/s.
+
+        ``batch_size / execution_latency(batch_size)`` — the live-state
+        signal queue-aware routing normalises backlogs by, so a deep queue on
+        a fast variant compares fairly against a shallow one on a slow
+        variant.  0.0 while nothing is hosted.
+        """
+        assignment = self.assignment
+        if assignment is None:
+            return 0.0
+        latency_ms = assignment.variant.execution_latency_ms(assignment.batch_size)
+        if latency_ms <= 0.0:
+            return 0.0
+        return assignment.batch_size * 1000.0 / latency_ms
+
     # -- fault injection ---------------------------------------------------------
     def fail(self, reason: str = "worker failed") -> None:
         """Hard failure: everything queued or executing here is lost."""

@@ -1,0 +1,108 @@
+"""Property tests: ClusterView snapshots obey conservation laws on real runs.
+
+Hypothesis drives small end-to-end simulations and checks the invariants the
+feedback-control API promises its consumers:
+
+* queue depths / in-flight counts are never negative, in any snapshot taken
+  at any point of a run;
+* queries are conserved: live backlog in the view never exceeds what has been
+  submitted but not finished, and once the run drains completely the request
+  accounting closes exactly (in-flight == 0, completed + late + dropped ==
+  submitted);
+* snapshots are immutable values.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.scenarios import get_scenario
+from repro.simulator.events import CallbackEvent
+
+
+def run_with_snapshots(qps: float, seed: int, duration_s: int = 6, snapshot_every_s: float = 0.5):
+    """Run a small scenario, capturing a ClusterView at a fixed cadence."""
+    spec = get_scenario("smoke").with_overrides(
+        trace_params={"qps": qps, "duration_s": duration_s}
+    )
+    sim = spec.build(seed=seed)
+    snapshots = []
+
+    def capture():
+        now = sim.engine.now_s
+        view = sim.cluster.cluster_view(now)
+        finished = (
+            sim.metrics.completed_requests
+            + sim.metrics.late_requests
+            + sim.metrics.dropped_requests
+        )
+        snapshots.append((view, sim.frontend.total_submitted, finished))
+
+    ticks = int(duration_s / snapshot_every_s)
+    sim.engine.preload(
+        [CallbackEvent(snapshot_every_s * (i + 1), capture) for i in range(ticks)]
+    )
+    summary = sim.run()
+    capture()  # fully drained
+    return sim, summary, snapshots
+
+
+class TestClusterViewInvariants:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        qps=st.floats(min_value=5.0, max_value=60.0),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_depths_never_negative_and_backlog_conserved(self, qps, seed):
+        _, _, snapshots = run_with_snapshots(qps, seed)
+        assert snapshots
+        for view, submitted, finished in snapshots:
+            for worker in view.workers:
+                assert worker.queue_depth >= 0
+                assert worker.in_flight >= 0
+                assert worker.recent_completions >= 0
+                assert worker.service_rate_qps >= 0.0
+            # whatever sits in queues or on GPUs was submitted and has not
+            # finished (the difference additionally covers queries still on
+            # the network between workers)
+            assert view.total_backlog <= submitted - finished
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        qps=st.floats(min_value=5.0, max_value=60.0),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_drained_run_accounting_closes(self, qps, seed):
+        sim, summary, snapshots = run_with_snapshots(qps, seed)
+        final_view, submitted, _ = snapshots[-1]
+        assert final_view.total_in_flight == 0
+        assert final_view.total_queue_depth == 0
+        # total in-flight (0 after drain) + sunk + dropped == submitted
+        assert (
+            summary.completed_requests + summary.late_requests + summary.dropped_requests
+            == submitted
+            == summary.total_requests
+        )
+
+    def test_snapshot_is_immutable(self):
+        _, _, snapshots = run_with_snapshots(qps=30.0, seed=0)
+        view, _, _ = snapshots[0]
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            view.num_physical = 99
+        populated = next((v for v, _, _ in snapshots if v.workers), None)
+        assert populated is not None
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            populated.workers[0].queue_depth = -1
+
+    def test_recent_completions_never_double_count(self):
+        """Per-worker completion deltas are disjoint across snapshots: their
+        sum can never exceed the cluster's total processed queries.  (It may
+        fall short — a worker deactivated between snapshots takes its last
+        delta with it, since views only cover currently hosted workers.)"""
+        sim, _, snapshots = run_with_snapshots(qps=40.0, seed=1)
+        total_recent = sum(
+            worker.recent_completions for view, _, _ in snapshots for worker in view.workers
+        )
+        total_processed = sum(worker.processed_queries for worker in sim.cluster.workers)
+        assert 0 < total_recent <= total_processed

@@ -1,0 +1,130 @@
+"""Unit tests for the perf-trajectory tooling (scripts/bench_trend.py)."""
+
+import importlib.util
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+SCRIPT = pathlib.Path(__file__).resolve().parents[2] / "scripts" / "bench_trend.py"
+
+spec = importlib.util.spec_from_file_location("bench_trend", SCRIPT)
+bench_trend = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(bench_trend)
+
+
+RECORD_A = {
+    "meta": {"python": "3.11", "platform": "linux"},
+    "dispatch_modes": {"speedup": 2.0, "scalar_events_per_s": 100000.0},
+    "solver": {"runtime_s": 0.10, "label": "not-a-number"},
+}
+RECORD_B = {
+    "meta": {"python": "3.11"},
+    "dispatch_modes": {"speedup": 2.2, "scalar_events_per_s": 100000.0},
+    "solver": {"runtime_s": 0.05},
+}
+
+
+class TestFlatten:
+    def test_flattens_numeric_metrics_only(self):
+        flat = bench_trend.flatten(RECORD_A)
+        assert flat == {
+            "dispatch_modes.speedup": 2.0,
+            "dispatch_modes.scalar_events_per_s": 100000.0,
+            "solver.runtime_s": 0.10,
+        }
+
+    def test_meta_and_garbage_skipped(self):
+        assert bench_trend.flatten({"meta": {"python": "3.11"}}) == {}
+        assert bench_trend.flatten("nonsense") == {}
+        assert bench_trend.flatten({"s": {"flag": True}}) == {}
+
+
+class TestTrendTable:
+    def history(self):
+        return [("aaa1111", bench_trend.flatten(RECORD_A)), ("bbb2222", bench_trend.flatten(RECORD_B))]
+
+    def test_delta_between_newest_two_columns(self):
+        table = bench_trend.trend_table(self.history())
+        assert "aaa1111" in table and "bbb2222" in table
+        speedup_row = next(line for line in table.splitlines() if "speedup" in line)
+        assert "+10.0%" in speedup_row
+        runtime_row = next(line for line in table.splitlines() if "runtime_s" in line)
+        assert "-50.0%" in runtime_row
+        unchanged_row = next(line for line in table.splitlines() if "scalar_events" in line)
+        assert unchanged_row.rstrip().endswith("=")
+
+    def test_markdown_shape(self):
+        table = bench_trend.trend_table(self.history(), markdown=True)
+        lines = table.splitlines()
+        assert lines[0].startswith("| metric |")
+        assert set(lines[1].replace("|", "")) <= {"-"}
+        assert all(line.startswith("|") and line.endswith("|") for line in lines)
+
+    def test_missing_metric_renders_dash(self):
+        history = [("old", {"a.x": 1.0}), ("new", {"a.y": 2.0})]
+        table = bench_trend.trend_table(history)
+        row = next(line for line in table.splitlines() if line.startswith("a.x"))
+        assert "-" in row
+
+    def test_empty_history_message(self):
+        assert "no perf records" in bench_trend.trend_table([])
+
+
+class TestHistoryFile:
+    def test_append_round_trip_and_bound(self, tmp_path):
+        record_path = tmp_path / "BENCH.json"
+        history_path = tmp_path / "history.jsonl"
+        for i in range(15):
+            record = {"section": {"metric": float(i)}}
+            record_path.write_text(json.dumps(record))
+            history = bench_trend.load_history_file(
+                history_path, record_path, append=True, label=f"run{i}", keep=12
+            )
+        assert len(history) == 12  # bounded
+        assert history[0][0] == "run3" and history[-1][0] == "run14"
+        assert history[-1][1] == {"section.metric": 14.0}
+
+    def test_malformed_lines_skipped(self, tmp_path):
+        history_path = tmp_path / "history.jsonl"
+        history_path.write_text(
+            'not json\n{"label": "ok", "record": {"s": {"m": 1.0}}}\n{"missing": 1}\n'
+        )
+        history = bench_trend.load_history_file(
+            history_path, tmp_path / "absent.json", append=False, label="x"
+        )
+        assert history == [("ok", {"s.m": 1.0})]
+
+    def test_missing_files_yield_empty_history(self, tmp_path):
+        history = bench_trend.load_history_file(
+            tmp_path / "none.jsonl", tmp_path / "none.json", append=True, label="x"
+        )
+        assert history == []
+
+
+class TestCli:
+    def test_cli_runs_against_repo(self, tmp_path):
+        record = tmp_path / "BENCH.json"
+        record.write_text(json.dumps(RECORD_A))
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(SCRIPT),
+                "--record",
+                str(record),
+                "--history",
+                str(tmp_path / "h.jsonl"),
+                "--append",
+                "--label",
+                "t1",
+                "--markdown",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0
+        assert "| metric |" in result.stdout
+        assert "dispatch_modes.speedup" in result.stdout
