@@ -184,20 +184,17 @@ def trend_table(
         return "no perf records found (run the benchmarks to create BENCH_throughput.json)"
     labels = [label for label, _ in history]
     metrics = sorted({metric for _, flat in history for metric in flat})
-    header = ["metric", *labels, "delta"]
+    # With a single column there is nothing to diff: the delta column would
+    # be all "-" noise (the first CI run after a cache eviction), so omit it.
+    with_delta = len(history) >= 2
+    header = ["metric", *labels] + (["delta"] if with_delta else [])
     rows: List[List[str]] = []
     for metric in metrics:
         values = [flat.get(metric) for _, flat in history]
-        rows.append(
-            [
-                metric,
-                *[_format_value(v) for v in values],
-                _format_delta(
-                    values[-2] if len(values) > 1 else None,
-                    values[-1],
-                ),
-            ]
-        )
+        row = [metric, *[_format_value(v) for v in values]]
+        if with_delta:
+            row.append(_format_delta(values[-2], values[-1]))
+        rows.append(row)
     if markdown:
         lines = [
             "| " + " | ".join(header) + " |",

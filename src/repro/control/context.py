@@ -64,6 +64,9 @@ class WorkerView:
     recent_completions: int
     #: whether the hosted model has finished loading
     loaded: bool = True
+    #: seconds until the hosted model finishes loading (0.0 when ``loaded``);
+    #: non-zero right after a cold start or a fault recovery rehost
+    ready_in_s: float = 0.0
 
     @property
     def backlog(self) -> int:
@@ -72,10 +75,12 @@ class WorkerView:
 
     @property
     def expected_wait_s(self) -> float:
-        """Backlog normalised by service rate (the JSQ ranking signal)."""
+        """Backlog normalised by service rate plus any remaining model-load
+        time (the JSQ ranking signal) — a just-recovered worker with an empty
+        queue but a model still loading is *not* free capacity."""
         if self.service_rate_qps <= 0.0:
             return math.inf
-        return self.backlog / self.service_rate_qps
+        return self.ready_in_s + self.backlog / self.service_rate_qps
 
 
 @dataclass(frozen=True)
@@ -139,11 +144,15 @@ class ClusterView:
 class TelemetryWindow:
     """Telemetry aggregates since the previous control period.
 
-    Counts (``completed``/``dropped``/``late``) are deltas over the window;
-    the latency quantiles are the run's streaming P² estimates (cumulative —
-    they adapt over a few hundred samples rather than resetting each window,
-    which is exactly the smoothing a feedback controller wants).  All fields
-    are plain floats/ints so windows are picklable and comparable.
+    Counts (``completed``/``dropped``/``late``) are deltas over the window,
+    and the latency quantiles are *windowed* too: exact quantiles over the
+    latencies observed since the last committed context (falling back to the
+    previous window while the current one is empty, and NaN before any
+    sample).  A transient tail spike therefore decays out of ``p99`` within
+    one window of the traffic returning to normal — it no longer lingers for
+    the rest of the run the way the pre-windowing cumulative P² estimate
+    did.  All fields are plain floats/ints so windows are picklable and
+    comparable.
     """
 
     #: wall of the window in simulated seconds (0.0 on the first period)
@@ -151,7 +160,7 @@ class TelemetryWindow:
     completed: int = 0
     dropped: int = 0
     late: int = 0
-    #: streaming quantile estimates over completed+late requests (NaN until
+    #: exact per-window quantiles over completed+late requests (NaN until
     #: the first sample arrives)
     p50_latency_ms: float = math.nan
     p99_latency_ms: float = math.nan

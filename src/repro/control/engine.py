@@ -29,6 +29,7 @@ from repro.core.allocation import AllocationPlan
 from repro.core.load_balancer import LoadBalancer, RoutingPlan, WorkerState, workers_from_plan
 from repro.core.pipeline import Pipeline
 from repro.core.resource_manager import DemandEstimator
+from repro.telemetry.metrics import WindowedHistogram
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.control.context import ClusterStateProvider
@@ -175,13 +176,23 @@ class ControlPlaneEngine:
         dropped = counter_value("requests.dropped")
         late = counter_value("requests.late")
         marker = self._window_marker
-        if commit:
-            self._window_marker = (now_s, completed, dropped, late)
         if marker is None:
             marker = (now_s, 0.0, 0.0, 0.0)
-        latency = registry.get("requests.latency_ms")
+        # Windowed quantiles: the rotating per-window histogram reflects the
+        # latencies observed *since the last committed context* (plus the
+        # previous window as fallback while the current one is empty), so the
+        # feedback policies see the tail of the window, not of the whole run.
+        # Registries without the windowed metric (hand-built tests, older
+        # pickles) fall back to the run-cumulative histogram.
+        latency = registry.get("requests.latency_ms.window")
+        if latency is None:
+            latency = registry.get("requests.latency_ms")
         p50 = latency.quantile(0.5) if latency is not None else math.nan
         p99 = latency.quantile(0.99) if latency is not None else math.nan
+        if commit:
+            self._window_marker = (now_s, completed, dropped, late)
+            if isinstance(latency, WindowedHistogram):
+                latency.rotate()
         return TelemetryWindow(
             window_s=max(0.0, now_s - marker[0]),
             completed=int(completed - marker[1]),

@@ -281,12 +281,12 @@ class SLOFeedbackPolicy(AllocationPolicy):
 
     ``error = latency_error + violation_weight * window_violation_rate - violation_target``
 
-    where ``latency_error = (p99 - SLO) / SLO``.  The p99 estimate is the
-    run's streaming quantile, which is deliberately *sticky* after a
-    transient; a positive latency error therefore only counts while the
-    current window actually shows SLO violations — once a window comes back
-    clean the error turns negative (``-violation_target``) and the integral
-    bleeds the boost away.  The error is clamped to ``[-1, error_clamp]``,
+    where ``latency_error = (p99 - SLO) / SLO`` and ``p99`` is the *windowed*
+    tail estimate (exact quantile over the last control window's latencies):
+    a transient spike raises the error only while windows actually show a
+    heavy tail, and once traffic recovers the next clean window turns the
+    error negative (``-violation_target``) so the integral bleeds the boost
+    away on its own.  The error is clamped to ``[-1, error_clamp]``,
     integrated with anti-windup, and the provisioning target is scaled by
     ``1 + kp*error + ki*integral`` (clamped to ``[scale_min, scale_max]`` and
     quantised to ``scale_quantum`` so heartbeat-level jitter does not churn
@@ -357,10 +357,6 @@ class SLOFeedbackPolicy(AllocationPolicy):
         p99 = window.p99_latency_ms
         if slo_ms > 0.0 and p99 == p99:  # NaN-safe: no samples yet -> no latency term
             latency_error = (p99 - slo_ms) / slo_ms
-            if latency_error > 0.0 and violation_rate == 0.0:
-                # The streaming p99 remembers the last transient; without live
-                # violations it must not keep the boost alive.
-                latency_error = 0.0
         error = latency_error + self.violation_weight * violation_rate - self.violation_target
         error = max(-1.0, min(self.error_clamp, error))
         dt = window.window_s if window.window_s > 0.0 else 1.0

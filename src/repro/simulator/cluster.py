@@ -166,10 +166,18 @@ class Cluster:
         or per chunk (batched).  Backlog counts queued plus executing
         queries; unhosted or failed logical ids come back as ``(inf, 0.0)``
         so queue-aware choosers route around them without special-casing.
+
+        A worker whose model is still loading (cold start, or a
+        just-recovered worker being rehosted) reports its remaining load
+        time folded into the backlog as rate-equivalent queries: an empty
+        queue behind a 2 s load is the same expected wait as a 2 s queue,
+        so ``jsq``/``adaptive_p2c`` neither dogpile the idle-looking worker
+        nor need a special not-ready case.
         """
         backlogs: List[float] = []
         rates: List[float] = []
         logical_map = self.logical_map
+        now_s = self.sim.engine.now_s
         for worker_id in worker_ids:
             worker = logical_map.get(worker_id)
             if worker is None or worker.failed or worker.assignment is None:
@@ -180,8 +188,13 @@ class Cluster:
             # once per routing draw under jsq; keep in sync with the
             # SimWorker properties of the same names.
             batch_event = worker._batch_event
-            backlogs.append(len(worker.queue) + (len(batch_event.batch) if batch_event else 0))
-            rates.append(worker.service_rate_qps)
+            backlog = len(worker.queue) + (len(batch_event.batch) if batch_event else 0)
+            rate = worker.service_rate_qps
+            pending_load_s = worker.available_at_s - now_s
+            if pending_load_s > 1e-12:
+                backlog += rate * pending_load_s
+            backlogs.append(backlog)
+            rates.append(rate)
         return backlogs, rates
 
     def cluster_view(self, now_s: float) -> ClusterView:
@@ -216,6 +229,7 @@ class Cluster:
                     service_rate_qps=worker.service_rate_qps,
                     recent_completions=max(0, recent),
                     loaded=now_s >= worker.available_at_s - 1e-12,
+                    ready_in_s=max(0.0, worker.available_at_s - now_s),
                 )
             )
         return ClusterView(

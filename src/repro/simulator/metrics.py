@@ -126,8 +126,16 @@ class MetricsCollector:
             #: the same population as the accuracy accounting; the summary's
             #: mean/p99_latency_ms cover completed requests only
             self._tele_latency = telemetry.histogram("requests.latency_ms")
+            #: same population, but quantiles rotate per control window — the
+            #: control plane reads this one for TelemetryWindow.p50/p99 and
+            #: rotates it every tick (the cumulative histogram above keeps
+            #: the whole-run view for summaries and pinned snapshots)
+            self._tele_latency_window = telemetry.windowed_histogram(
+                "requests.latency_ms.window"
+            )
         else:
             self._tele_latency = None
+            self._tele_latency_window = None
 
     # -- recording -----------------------------------------------------------
     def _interval(self, time_s: float) -> IntervalMetrics:
@@ -205,6 +213,7 @@ class MetricsCollector:
             if telemetry is not None:
                 self._tele_completed.value += 1
                 self._tele_latency.observe(latency_ms)
+                self._tele_latency_window.observe(latency_ms)
             # Requests that legitimately produced no sink results (e.g. zero
             # objects detected in the frame) completed successfully but have no
             # accuracy to report, so they are excluded from the accuracy average.
@@ -228,6 +237,7 @@ class MetricsCollector:
                 if telemetry is not None:
                     self._tele_late.value += 1
                     self._tele_latency.observe(latency_ms)
+                    self._tele_latency_window.observe(latency_ms)
                 # Late requests still produced results; their accuracy counts
                 # toward the achieved-accuracy average.
                 if request.accuracy_count:
@@ -291,6 +301,7 @@ class MetricsCollector:
             self._tele_completed.value += completed
             self._tele_late.value += late
             self._tele_latency.observe_many(all_latencies)
+            self._tele_latency_window.observe_many(all_latencies)
 
     # -- summaries ------------------------------------------------------------
     @property

@@ -21,18 +21,33 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from itertools import repeat
 from typing import Deque, List, Optional, Tuple, TYPE_CHECKING
+
+import numpy as np
 
 from repro.core.dropping import DropAction
 from repro.core.pipeline import Edge
 from repro.core.profiles import ModelVariant
-from repro.simulator.events import BatchCompleteEvent, ModelReadyEvent, SwapCompleteEvent
+from repro.simulator.events import (
+    BatchCompleteEvent,
+    ModelReadyEvent,
+    RoutedDeliveryEvent,
+    SwapCompleteEvent,
+)
 from repro.simulator.query import IntermediateQuery
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
     from repro.simulator.runner import ServingSimulation
 
-__all__ = ["WorkerAssignment", "SimWorker"]
+__all__ = ["WorkerAssignment", "SimWorker", "BATCHED_COMPLETION_MIN"]
+
+#: minimum completed-batch size for the vectorized batched-dispatch paths
+#: (bulk sink returns and the bulk downstream fan-out): below this the fixed
+#: cost of the vectorized draws exceeds the per-query savings and the scalar
+#: loop wins.  Both sides of the boundary are statistically equivalent — the
+#: equivalence suite pins batch sizes 1..8 across it.
+BATCHED_COMPLETION_MIN = 4
 
 
 @dataclass(frozen=True)
@@ -233,8 +248,20 @@ class SimWorker:
         self._cancel_pending_swap()
 
     def recover(self) -> None:
-        """The worker comes back empty; the next plan application can use it."""
+        """The worker comes back empty; the next plan application can use it.
+
+        Pre-failure observation state is discarded: multiplicative-factor
+        observations from the old assignment must not leak into the first
+        post-recovery heartbeat.  The rate/backlog the control plane sees
+        come from the *new* assignment once a plan rehosts this worker —
+        until then it has no assignment and probes report it as
+        unserviceable — and the remaining model-load time of the rehost is
+        folded into ``queue_snapshot``'s backlog so queue-aware choosers do
+        not dogpile the idle-looking recovered worker.
+        """
         self.failed = False
+        self.factor_observation_sum = 0.0
+        self.factor_observation_count = 0
 
     # -- query intake ------------------------------------------------------------
     def enqueue(self, query: IntermediateQuery) -> None:
@@ -311,7 +338,7 @@ class SimWorker:
             # the batch returns straight to the Frontend.  Batched dispatch
             # draws the whole batch's return-hop delays in one vectorized
             # call (worth it once the vectorization overhead amortises).
-            if sim.batched_dispatch and len(batch) >= 4:
+            if sim.batched_dispatch and len(batch) >= BATCHED_COMPLETION_MIN:
                 for query in batch:
                     query.accuracy_so_far *= accuracy
                 sim.notify_sink_batch(batch)
@@ -320,6 +347,10 @@ class SimWorker:
                 for query in batch:
                     query.accuracy_so_far *= accuracy
                     notify_sink(query)
+        elif sim.batched_dispatch and len(batch) >= BATCHED_COMPLETION_MIN:
+            for query in batch:
+                query.accuracy_so_far *= accuracy
+            self._dispatch_batch(batch, assignment, child_edges, now)
         else:
             for query in batch:
                 query.accuracy_so_far *= accuracy
@@ -364,6 +395,187 @@ class SimWorker:
         # The parent query itself is finished (its children carry on).
         request.record_internal_completion(now_s)
         self.sim.check_request(request)
+
+    def _dispatch_batch(
+        self,
+        batch: List[IntermediateQuery],
+        assignment: WorkerAssignment,
+        child_edges: Tuple[Edge, ...],
+        now_s: float,
+    ) -> None:
+        """Vectorized downstream fan-out for a whole completed batch.
+
+        The batched-dispatch counterpart of per-query :meth:`_dispatch`: child
+        counts are sampled once per *edge* for the whole batch
+        (``ContentModel.sample_children_batch``), child queries are
+        bulk-allocated, routes come from ``choose_batch_indices`` in
+        ``batch_route_chunk``-bounded chunks (re-probing dynamic choosers at
+        chunk boundaries exactly like the frontend burst path), forward-hop
+        network delays are drawn in one vectorized call per edge, and all
+        delivery events enter the calendar through a single ``preload``.  The
+        RNG stream differs from scalar mode by design; summary statistics are
+        pinned equivalent by the dispatch-equivalence suite.
+
+        Drop decisions are skipped wholesale for parents whose
+        ``needs_forward_decision(time_in_task, budget)`` is ``False`` — the
+        policy has promised a plain FORWARD with no RNG, the overwhelmingly
+        common case (parents within budget).  Overrun parents get one
+        ``on_forward_batch`` call deciding all their children together, so
+        the per-parent work (overrun test, backup-candidate scan) is not
+        repeated per child and a single late parent in a batch no longer
+        drags every sibling's children through a scalar loop.
+        """
+        sim = self.sim
+        rng = sim.rng
+        n = len(batch)
+        variant = assignment.variant
+        content_model = sim.content_model
+        counts_per_edge = [
+            content_model.sample_children_batch(variant, edge, rng, n) for edge in child_edges
+        ]
+        if len(counts_per_edge) == 1:
+            totals = counts_per_edge[0]
+        else:
+            totals = counts_per_edge[0].copy()
+            for counts in counts_per_edge[1:]:
+                totals += counts
+        total_children = int(totals.sum())
+        self.factor_observation_sum += total_children
+        self.factor_observation_count += n
+
+        # Seed every parent's outstanding count before any child can be
+        # dropped (a drop decrements the request), mirroring the scalar
+        # add_outstanding-before-forward ordering invariant.
+        for query, total in zip(batch, totals.tolist()):
+            if total:
+                query.request.add_outstanding(total)
+
+        if total_children:
+            routing_table = sim.routing_table_for(assignment.logical_id)
+            budget_ms = assignment.latency_budget_ms
+            drop_policy = sim.drop_policy
+            needs_decision = drop_policy.needs_forward_decision
+            time_in_task = [(now_s - q.worker_arrival_s) * 1000.0 for q in batch]
+            consult_any = False
+            consult = []
+            for t in time_in_task:
+                flag = needs_decision(t, budget_ms)
+                consult_any = consult_any or flag
+                consult.append(flag)
+            chunk = sim.config.batch_route_chunk
+            events: List[RoutedDeliveryEvent] = []
+            query_id = sim._next_query_id
+            requests = [q.request for q in batch]
+            accuracies = [q.accuracy_so_far for q in batch]
+            for edge, counts in zip(child_edges, counts_per_edge):
+                edge_total = int(counts.sum())
+                if edge_total == 0:
+                    continue
+                child_task = edge.child
+                parent_idx = np.repeat(np.arange(n), counts).tolist()
+                children = list(
+                    map(
+                        IntermediateQuery,
+                        range(query_id, query_id + edge_total),
+                        [requests[i] for i in parent_idx],
+                        repeat(child_task),
+                        repeat(now_s),
+                        [accuracies[i] for i in parent_idx],
+                    )
+                )
+                query_id += edge_total
+                drawn = (
+                    routing_table.choose_batch_indices(
+                        child_task, rng, edge_total, method="alias", chunk=chunk
+                    )
+                    if routing_table is not None
+                    else None
+                )
+                if drawn is None:
+                    # No serviceable route for this task: fall back to the
+                    # scalar per-child path, whose choose() comes back empty
+                    # too — per-child policy decision with planned=None, then
+                    # backup table or drop.  Rare (plan/table inconsistency).
+                    sim._next_query_id = query_id
+                    for child, pi in zip(children, parent_idx):
+                        self._forward(child, child_task, time_in_task[pi], assignment, routing_table)
+                    query_id = sim._next_query_id
+                    continue
+                entries, indices = drawn
+                worker_ids = [entry.worker_id for entry in entries]
+                delivery_times = (now_s + sim.network.sample_delays_s(rng, edge_total)).tolist()
+                indices_list = indices.tolist()
+                if not consult_any:
+                    # Fan-out fast path: every parent is within budget, so the
+                    # policy forwards every child — build the edge's delivery
+                    # events with C-level map iteration, no per-child calls.
+                    targets = [worker_ids[j] for j in indices_list]
+                    events.extend(
+                        map(RoutedDeliveryEvent, delivery_times, repeat(sim), targets, children)
+                    )
+                    continue
+                # Mixed batch: walk the children parent by parent (np.repeat
+                # keeps a parent's children contiguous).  Within-budget
+                # parents keep the bulk path; each overrun parent gets ONE
+                # on_forward_batch call deciding all its children at once,
+                # so the backup-candidate scan is hoisted per parent rather
+                # than repeated per child.
+                backups = sim.backups_for(child_task)
+                on_forward_batch = drop_policy.on_forward_batch
+                notify_drop = sim.notify_drop
+                offset = 0
+                for pi, cnt in enumerate(counts.tolist()):
+                    if not cnt:
+                        continue
+                    stop = offset + cnt
+                    decisions = None
+                    group_entries = None
+                    if consult[pi]:
+                        group_entries = [entries[indices_list[k]] for k in range(offset, stop)]
+                        decisions = on_forward_batch(
+                            time_in_task[pi],
+                            budget_ms,
+                            group_entries,
+                            backups,
+                            children[offset].remaining_slo_ms(now_s),
+                            rng,
+                        )
+                    if decisions is None:
+                        events.extend(
+                            map(
+                                RoutedDeliveryEvent,
+                                delivery_times[offset:stop],
+                                repeat(sim),
+                                [worker_ids[indices_list[k]] for k in range(offset, stop)],
+                                children[offset:stop],
+                            )
+                        )
+                        offset = stop
+                        continue
+                    for slot, decision in enumerate(decisions):
+                        child = children[offset + slot]
+                        if decision.action is DropAction.DROP:
+                            notify_drop(child, reason=decision.reason)
+                            continue
+                        if decision.action is DropAction.REROUTE and decision.target is not None:
+                            target_id = decision.target.worker_id
+                        else:
+                            target_id = group_entries[slot].worker_id
+                        events.append(
+                            RoutedDeliveryEvent(delivery_times[offset + slot], sim, target_id, child)
+                        )
+                    offset = stop
+            sim._next_query_id = query_id
+            if events:
+                sim.engine.preload(events)
+
+        # Every parent query is finished (its children carry on); parents with
+        # zero fan-out complete their branch of the request right here.
+        check_request = sim.check_request
+        for query in batch:
+            request = query.request
+            request.record_internal_completion(now_s)
+            check_request(request)
 
     def _forward(self, child_query, child_task: str, time_in_task_ms: float, assignment: WorkerAssignment, routing_table) -> None:
         planned_entry = routing_table.choose(child_task, self.sim.rng) if routing_table is not None else None

@@ -7,13 +7,23 @@ frontend, workers and control planes with one registry per simulation run:
   level tracking with ``__slots__`` objects cheap enough for per-query paths.
 * :class:`~repro.telemetry.metrics.Histogram` -- streaming distribution
   summaries whose quantiles come from the P² algorithm (constant memory).
+* :class:`~repro.telemetry.metrics.WindowedHistogram` -- exact quantiles over
+  a rotating pair of observation windows (the control plane's per-window
+  tail-latency view, rotated once per committed control tick).
 * :class:`~repro.telemetry.registry.TelemetryRegistry` -- named create-or-get
   surface whose ``snapshot()`` is a picklable flat dict, shipped through
   :class:`~repro.simulator.metrics.SimulationSummary` and aggregated across
   seeds by the sweep runner.
 """
 
-from repro.telemetry.metrics import Counter, Gauge, Histogram, P2Quantile
+from repro.telemetry.metrics import Counter, Gauge, Histogram, P2Quantile, WindowedHistogram
 from repro.telemetry.registry import TelemetryRegistry
 
-__all__ = ["Counter", "Gauge", "Histogram", "P2Quantile", "TelemetryRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "P2Quantile",
+    "TelemetryRegistry",
+    "WindowedHistogram",
+]

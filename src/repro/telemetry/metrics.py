@@ -12,7 +12,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Tuple
 
-__all__ = ["Counter", "Gauge", "Histogram", "P2Quantile"]
+__all__ = ["Counter", "Gauge", "Histogram", "P2Quantile", "WindowedHistogram"]
 
 
 class Counter:
@@ -309,3 +309,78 @@ class Histogram:
 
     def __repr__(self):  # pragma: no cover - debug helper
         return f"Histogram({self.name}, n={self.count}, mean={self.mean:.3f})"
+
+
+class WindowedHistogram:
+    """Exact quantiles over a rotating pair of observation windows.
+
+    :class:`Histogram` answers "what does the whole run look like so far";
+    this answers "what did the *last control window* look like".  Observations
+    accumulate in the active window's raw buffer; :meth:`rotate` closes the
+    window (the active buffer becomes the completed window, a fresh buffer
+    starts).  :meth:`quantile` reads the active window when it has samples and
+    falls back to the last completed window otherwise, so an empty window
+    reports the most recent real distribution instead of a stale
+    run-cumulative estimate — and NaN before any sample at all, which readers
+    must treat as "no signal".
+
+    Quantiles are exact (sorted-buffer indexing with the same small-sample
+    convention as :class:`P2Quantile`): a control window holds at most a few
+    thousand latencies and is read once or twice per tick, so sorting on
+    demand beats streaming estimation and has no warm-up distortion.  The
+    sorted buffer is cached until the next observation.
+    """
+
+    __slots__ = ("name", "_active", "_last", "_cache_key", "_cache_sorted", "windows")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._active: List[float] = []
+        self._last: List[float] = []
+        self._cache_key: Tuple[int, int] = (-1, -1)
+        self._cache_sorted: List[float] = []
+        #: completed windows so far (rotate() calls)
+        self.windows = 0
+
+    def observe(self, x: float) -> None:
+        self._active.append(float(x))
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        self._active.extend(map(float, values))
+
+    def rotate(self) -> None:
+        """Close the active window; it becomes the fallback for empty reads."""
+        if self._active:
+            self._last = self._active
+            self._active = []
+            self._cache_key = (-1, -1)
+        self.windows += 1
+
+    @property
+    def count(self) -> int:
+        """Observations in the window :meth:`quantile` currently reads."""
+        return len(self._active) or len(self._last)
+
+    def quantile(self, q: float) -> float:
+        samples = self._active or self._last
+        if not samples:
+            return math.nan
+        # Buffers only ever grow between rotations and rotate() invalidates
+        # outright, so the (active, last) length pair uniquely keys the cache.
+        key = (len(self._active), len(self._last))
+        if key != self._cache_key:
+            self._cache_sorted = sorted(samples)
+            self._cache_key = key
+        ordered = self._cache_sorted
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            f"{self.name}.count": float(self.count),
+            f"{self.name}.p50": self.quantile(0.5),
+            f"{self.name}.p99": self.quantile(0.99),
+        }
+
+    def __repr__(self):  # pragma: no cover - debug helper
+        return f"WindowedHistogram({self.name}, n={self.count}, windows={self.windows})"

@@ -12,11 +12,11 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Union
 
-from repro.telemetry.metrics import Counter, Gauge, Histogram
+from repro.telemetry.metrics import Counter, Gauge, Histogram, WindowedHistogram
 
 __all__ = ["TelemetryRegistry"]
 
-Metric = Union[Counter, Gauge, Histogram]
+Metric = Union[Counter, Gauge, Histogram, WindowedHistogram]
 
 
 class TelemetryRegistry:
@@ -45,6 +45,9 @@ class TelemetryRegistry:
     def histogram(self, name: str, quantiles: Optional[Iterable[float]] = None) -> Histogram:
         quantiles = tuple(quantiles) if quantiles is not None else Histogram.DEFAULT_QUANTILES
         return self._get(name, lambda: Histogram(name, quantiles), Histogram)
+
+    def windowed_histogram(self, name: str) -> WindowedHistogram:
+        return self._get(name, lambda: WindowedHistogram(name), WindowedHistogram)
 
     # -- introspection ---------------------------------------------------------
     def names(self) -> List[str]:

@@ -83,6 +83,53 @@ class TestEngineLoop:
         assert snapshot["control.planned_workers"] == float(plan.total_workers)
 
 
+class TestTelemetryWindowQuantiles:
+    """The context's p50/p99 come from the rotating per-window histogram."""
+
+    def _engine(self, small_pipeline, registry):
+        plan = solved_plan(small_pipeline)
+        engine = ControlPlaneEngine(
+            small_pipeline, StaticPlanPolicy(plan), num_workers=10, telemetry=registry
+        )
+        engine.report_demand(0.0, 40.0)
+        return engine
+
+    def test_committed_ticks_rotate_the_window(self, small_pipeline):
+        registry = TelemetryRegistry()
+        engine = self._engine(small_pipeline, registry)
+        windowed = registry.windowed_histogram("requests.latency_ms.window")
+        windowed.observe_many([900.0] * 50)  # spike during the first window
+        engine.step(0.0, force=True)  # commits: spike window closes
+        windowed.observe_many([10.0] * 50)  # traffic back to normal
+        ctx = engine.build_context(1.0)
+        assert ctx.window.p99_latency_ms == 10.0  # spike no longer visible
+
+    def test_pure_reads_do_not_rotate(self, small_pipeline):
+        registry = TelemetryRegistry()
+        engine = self._engine(small_pipeline, registry)
+        windowed = registry.windowed_histogram("requests.latency_ms.window")
+        windowed.observe_many([500.0] * 10)
+        engine.build_context(0.5)  # out-of-band read, no commit
+        assert windowed.windows == 0
+        assert engine.build_context(0.6).window.p99_latency_ms == 500.0
+
+    def test_empty_window_reports_previous_window_not_run_cumulative(self, small_pipeline):
+        registry = TelemetryRegistry()
+        engine = self._engine(small_pipeline, registry)
+        windowed = registry.windowed_histogram("requests.latency_ms.window")
+        windowed.observe_many([100.0, 200.0])
+        engine.step(0.0, force=True)
+        ctx = engine.build_context(1.0)  # nothing finished this window yet
+        assert ctx.window.p50_latency_ms == 200.0
+
+    def test_falls_back_to_cumulative_histogram_when_windowed_absent(self, small_pipeline):
+        registry = TelemetryRegistry()
+        engine = self._engine(small_pipeline, registry)
+        registry.histogram("requests.latency_ms").observe_many([50.0] * 20)
+        ctx = engine.build_context(1.0)
+        assert ctx.window.p50_latency_ms == pytest.approx(50.0)
+
+
 class TestPlanCache:
     def test_identical_state_hits_the_cache(self, small_pipeline):
         control = CountingControlPlane(small_pipeline, num_workers=10)

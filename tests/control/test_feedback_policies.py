@@ -189,21 +189,31 @@ class TestSLOFeedbackPolicy:
         assert scale > 1.0
         assert policy.error > 0.0
 
-    def test_sticky_p99_alone_does_not_boost(self):
-        """The cumulative p99 remembers the last transient; a clean window
-        must not keep the boost alive through the latency term."""
+    def test_windowed_tail_boosts_even_without_violations(self):
+        """p99 is now a *windowed* quantile, so a heavy tail in the current
+        window is a live signal and legitimately raises the error even while
+        the violation counters are still clean (requests finishing late in
+        the *next* window are exactly what the latency term front-runs)."""
         policy = SLOFeedbackPolicy()
         policy.observe(ctx_with(violation_rate=0.0, p99=900.0))
+        assert policy.error > 0.0
+
+    def test_no_latency_signal_does_not_boost(self):
+        """An empty window (NaN p99) contributes no latency term."""
+        policy = SLOFeedbackPolicy()
+        policy.observe(ctx_with(violation_rate=0.0, p99=math.nan))
         assert policy.error == pytest.approx(-policy.violation_target)
 
     def test_boost_decays_after_transient(self):
+        """Once the transient passes, windowed p99 drops back below the SLO
+        on its own (no violation-gating needed) and the boost bleeds away."""
         policy = SLOFeedbackPolicy()
         for _ in range(5):
             policy.observe(ctx_with(violation_rate=0.8, p99=700.0))
         peak = policy.scale
         assert peak == policy.scale_max
         for _ in range(200):
-            policy.observe(ctx_with(violation_rate=0.0, p99=700.0))
+            policy.observe(ctx_with(violation_rate=0.0, p99=60.0))
         assert policy.scale < peak
         assert policy.scale == policy.scale_min
 

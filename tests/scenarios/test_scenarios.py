@@ -209,6 +209,61 @@ class TestFaults:
         assert len(resolved.faults) == 1
         assert pickle.dumps(resolved.run(seed=2)) == pickle.dumps(spec.run(seed=2))
 
+    def test_loading_worker_snapshot_folds_remaining_load_time(self):
+        """Regression: a worker whose model is still loading (cold start or a
+        just-recovered rehost) used to report full service rate with zero
+        backlog, so jsq/adaptive_p2c dogpiled it.  The probe now folds the
+        remaining load time into the backlog as rate-equivalent queries."""
+        spec = ScenarioSpec(name="loading_probe", **TINY)
+        simulation = spec.build(seed=0)
+        simulation._bootstrap()
+        cluster = simulation.cluster
+        logical_id = sorted(cluster.logical_map)[0]
+        worker = cluster.logical_map[logical_id]
+        rate = worker.service_rate_qps
+        assert rate > 0.0
+        # Loaded and idle: plain queue count.
+        worker.available_at_s = simulation.engine.now_s
+        assert cluster.queue_snapshot([logical_id])[0][0] == 0
+        # Mid-load (as after a recovery rehost): the 2 s of remaining load
+        # time shows up as rate-equivalent backlog.
+        worker.available_at_s = simulation.engine.now_s + 2.0
+        backlogs, rates = cluster.queue_snapshot([logical_id])
+        assert rates[0] == rate
+        assert backlogs[0] == pytest.approx(rate * 2.0)
+
+    def test_recover_resets_factor_observations(self):
+        """A recovered worker must not leak pre-failure multiplicative-factor
+        observations into its first post-recovery heartbeat."""
+        spec = ScenarioSpec(name="recover_reset", **TINY)
+        simulation = spec.build(seed=0)
+        simulation._bootstrap()
+        worker = simulation.cluster.workers[0]
+        worker.factor_observation_sum = 42.0
+        worker.factor_observation_count = 7
+        worker.fail()
+        worker.recover()
+        assert worker.factor_observation_sum == 0.0
+        assert worker.factor_observation_count == 0
+        assert worker.heartbeat() is None
+
+    def test_jsq_fault_run_does_not_dogpile_recovering_worker(self):
+        """Fault-scenario regression for the loading-aware probe: with jsq
+        routing, a mid-run failure + recovery must not make things worse than
+        the failure alone warrants — every request still resolves, and drops
+        blamed on unhosted logical workers stay absent after the rehost."""
+        spec = ScenarioSpec(
+            name="jsq_fault",
+            control_overrides={"routing_policy": "jsq"},
+            faults=(FaultSpec(kind="worker_failure", at_s=3.0, duration_s=2.0, count=1),),
+            **TINY,
+        )
+        simulation = spec.build(seed=0)
+        summary = simulation.run()
+        assert simulation.cluster.failed_workers == 0
+        assert summary.completed_requests + summary.violated_requests == summary.total_requests
+        assert not any("not hosted" in reason for reason in simulation.drop_reasons)
+
     def test_unknown_fault_kind_rejected(self):
         with pytest.raises(ValueError):
             FaultSpec(kind="cosmic_ray", at_s=1.0)

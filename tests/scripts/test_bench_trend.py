@@ -72,6 +72,18 @@ class TestTrendTable:
     def test_empty_history_message(self):
         assert "no perf records" in bench_trend.trend_table([])
 
+    def test_single_entry_history_omits_delta_column(self):
+        """The first CI run after a cache eviction has one history entry;
+        there is nothing to diff, so no delta column of useless dashes."""
+        history = [("aaa1111", bench_trend.flatten(RECORD_A))]
+        table = bench_trend.trend_table(history)
+        header = table.splitlines()[0]
+        assert "delta" not in header
+        speedup_row = next(line for line in table.splitlines() if "speedup" in line)
+        assert speedup_row.split() == ["dispatch_modes.speedup", "2"]
+        markdown = bench_trend.trend_table(history, markdown=True)
+        assert markdown.splitlines()[0] == "| metric | aaa1111 |"
+
 
 class TestHistoryFile:
     def test_append_round_trip_and_bound(self, tmp_path):

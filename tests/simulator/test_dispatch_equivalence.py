@@ -12,20 +12,31 @@ Two claims are pinned here:
   differ, but the same arrival workload must produce matching summary
   statistics — same total requests exactly, and throughput / SLO violation
   ratio / mean accuracy within tight tolerances — across builtin scenarios
-  and seeds, including the multi-task social pipeline whose worker-side
-  fan-out goes through the scalar code paths in both modes.
+  and seeds.  Multi-task pipelines exercise the batched *worker-side*
+  fan-out too (``SimWorker._dispatch_batch``: bulk child sampling, chunked
+  batch routing, vectorized forward-hop delays), including its
+  ``BATCHED_COMPLETION_MIN`` boundary with the scalar fallback and the
+  delivery-time logical-worker resolution under faults.
 """
 
 import numpy as np
 import pytest
 
-from repro.scenarios import ScenarioSpec, get_scenario
+from repro.scenarios import FaultSpec, ScenarioSpec, get_scenario
 from repro.simulator import ServingSimulation, SimulationConfig
 from repro.simulator.events import ArrivalBurstEvent, ArrivalEvent
 from repro.simulator.metrics import MetricsCollector
+from repro.simulator.query import Request
+from repro.simulator.worker import BATCHED_COMPLETION_MIN
 
 
 def _scenario(name):
+    if name == "traffic_fanout_short":
+        # fig5-shaped (the traffic_analysis detection fan-out) but steady and
+        # short enough for tier-1; the full overload fig5 run is slow-marked
+        return get_scenario("traffic_worker_failure").with_overrides(
+            trace_params={"qps": 1.0, "duration_s": 15}, faults=()
+        )
     overrides = {
         "validation_uniform": {"trace_params": {"qps": 150.0, "duration_s": 15}},
         "social_twitter_bursty": {
@@ -75,13 +86,17 @@ class TestScalarGolden:
                 assert observed == pytest.approx(expected, rel=1e-12), field
 
 
-#: (scenario, seeds) grid for the statistical equivalence claim; three
-#: builtin scenarios x two seeds run in tier-1, the heavier fig5-style
-#: overload scenario is slow-marked below
+#: (scenario, seeds) grid for the statistical equivalence claim; the builtin
+#: scenarios x two seeds run in tier-1 — including the fig6-shaped social
+#: pipeline and a shortened fig5-shaped traffic pipeline, both of whose
+#: multi-task fan-out (fan-out > 1) goes through the batched worker-side
+#: dispatch — while the full-length fig5 overload scenario is slow-marked
+#: below
 EQUIVALENCE_GRID = [
     ("smoke", (0, 1)),
     ("validation_uniform", (0, 1)),
     ("social_twitter_bursty", (0, 1)),
+    ("traffic_fanout_short", (0, 1)),
 ]
 
 #: tolerances: roughly 2x the worst deltas observed across the grid
@@ -121,6 +136,18 @@ class TestBatchedMatchesScalarStatistics:
         batched = spec.with_overrides(dispatch_mode="batched").run(seed=0)
         assert_statistically_equivalent(scalar, batched)
 
+    def test_multitask_faults_match_with_delivery_time_resolution(self):
+        """Faults on a multi-task pipeline: batched fan-out delivers children
+        through RoutedDeliveryEvents that resolve logical workers at fire
+        time, so a mid-run failure + recovery must leave batched within the
+        statistical envelope of scalar (which resolves at submit time)."""
+        spec = _scenario("social_twitter_bursty").with_overrides(
+            faults=(FaultSpec(kind="worker_failure", at_s=4.0, duration_s=3.0, count=1),)
+        )
+        scalar = spec.with_overrides(dispatch_mode="scalar").run(seed=0)
+        batched = spec.with_overrides(dispatch_mode="batched").run(seed=0)
+        assert_statistically_equivalent(scalar, batched)
+
     def test_batched_mode_is_deterministic(self):
         spec = _scenario("smoke").with_overrides(dispatch_mode="batched")
         first = spec.run(seed=0)
@@ -129,6 +156,54 @@ class TestBatchedMatchesScalarStatistics:
         assert first.completed_requests == second.completed_requests
         assert first.slo_violation_ratio == second.slo_violation_ratio
         assert first.mean_latency_ms == second.mean_latency_ms
+
+
+class TestCompletionBoundary:
+    """The scalar fallback below ``BATCHED_COMPLETION_MIN`` and the vectorized
+    fan-out at/above it must agree: with the deterministic ("expected")
+    content model, one completed batch of any size 1..8 produces exactly the
+    same fan-out bookkeeping either side of the threshold."""
+
+    def test_threshold_is_a_named_constant(self):
+        assert isinstance(BATCHED_COMPLETION_MIN, int)
+        assert 1 < BATCHED_COMPLETION_MIN <= 8  # the 1..8 sweep crosses it
+
+    def _fanout_bookkeeping(self, mode, size):
+        spec = _scenario("social_twitter_bursty").with_overrides(
+            dispatch_mode=mode, content_mode="expected"
+        )
+        simulation = spec.build(seed=0)
+        simulation._bootstrap()
+        worker = next(
+            w
+            for w in simulation.cluster.workers
+            if w.assignment is not None and w.assignment.child_edges
+        )
+        assignment = worker.assignment
+        now = simulation.engine.now_s
+        batch = []
+        for i in range(size):
+            # outstanding=1 accounts for the parent query itself, as the
+            # real intake path does
+            request = Request(i, now, simulation.pipeline.latency_slo_ms, outstanding=1)
+            query = simulation.new_intermediate_query(request, assignment.task, now, 1.0)
+            query.worker_arrival_s = now
+            batch.append(query)
+        calendar_before = len(simulation.engine.queue)
+        worker._complete_batch(batch)
+        return {
+            "children_observed": worker.factor_observation_sum,
+            "observations": worker.factor_observation_count,
+            "outstanding": [q.request.outstanding for q in batch],
+            "scheduled_deliveries": len(simulation.engine.queue) - calendar_before,
+            "accuracies": [round(q.accuracy_so_far, 12) for q in batch],
+        }
+
+    @pytest.mark.parametrize("size", range(1, 9))
+    def test_fanout_bookkeeping_agrees_across_threshold(self, size):
+        scalar = self._fanout_bookkeeping("scalar", size)
+        batched = self._fanout_bookkeeping("batched", size)
+        assert scalar == batched
 
 
 class TestBurstStructure:

@@ -6,7 +6,14 @@ import numpy as np
 import pytest
 
 from repro.scenarios import SweepRunner, get_scenario
-from repro.telemetry import Counter, Gauge, Histogram, P2Quantile, TelemetryRegistry
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    P2Quantile,
+    TelemetryRegistry,
+    WindowedHistogram,
+)
 
 
 class TestPrimitives:
@@ -67,6 +74,69 @@ class TestP2Quantile:
     def test_invalid_quantile_rejected(self):
         with pytest.raises(ValueError):
             P2Quantile(1.0)
+
+
+class TestWindowedHistogram:
+    def test_quantiles_reflect_only_the_active_window(self):
+        windowed = WindowedHistogram("w")
+        windowed.observe_many([900.0] * 100)  # a transient spike
+        windowed.rotate()
+        windowed.observe_many([10.0] * 100)  # traffic back to normal
+        assert windowed.quantile(0.99) == 10.0  # the spike is gone
+
+    def test_empty_active_window_falls_back_to_last_completed(self):
+        windowed = WindowedHistogram("w")
+        windowed.observe_many([1.0, 2.0, 3.0, 4.0])
+        windowed.rotate()
+        assert windowed.quantile(0.5) == 3.0
+        assert windowed.count == 4
+
+    def test_no_samples_at_all_is_nan(self):
+        windowed = WindowedHistogram("w")
+        assert math.isnan(windowed.quantile(0.99))
+        windowed.rotate()
+        assert math.isnan(windowed.quantile(0.5))
+
+    def test_observation_after_rotation_supersedes_fallback(self):
+        windowed = WindowedHistogram("w")
+        windowed.observe_many([100.0, 200.0])
+        windowed.rotate()
+        windowed.observe(7.0)
+        assert windowed.quantile(0.5) == 7.0
+
+    def test_quantile_matches_small_sample_order_statistic(self):
+        windowed = WindowedHistogram("w")
+        for x in (5.0, 1.0, 3.0):
+            windowed.observe(x)
+        assert windowed.quantile(0.5) == 3.0  # same convention as P2Quantile
+
+    def test_equal_sized_consecutive_windows_are_not_confused(self):
+        """Regression: the sorted-buffer cache must invalidate on rotation
+        even when consecutive windows hold the same number of samples."""
+        windowed = WindowedHistogram("w")
+        windowed.observe_many([1.0, 2.0])
+        windowed.rotate()
+        assert windowed.quantile(0.5) == 2.0  # caches the first window
+        windowed.observe_many([80.0, 90.0])
+        windowed.rotate()
+        assert windowed.quantile(0.5) == 90.0
+
+    def test_snapshot_and_rotation_count(self):
+        windowed = WindowedHistogram("w")
+        windowed.observe_many([10.0, 20.0])
+        windowed.rotate()
+        windowed.rotate()  # empty window keeps the fallback
+        snapshot = windowed.snapshot()
+        assert snapshot["w.count"] == 2.0
+        assert snapshot["w.p50"] == 20.0
+        assert windowed.windows == 2
+
+    def test_registry_factory(self):
+        registry = TelemetryRegistry()
+        metric = registry.windowed_histogram("lat.window")
+        assert registry.windowed_histogram("lat.window") is metric
+        with pytest.raises(TypeError):
+            registry.histogram("lat.window")
 
 
 class TestRegistry:
