@@ -51,6 +51,13 @@ def main(argv=None) -> int:
     parser.add_argument("--pool", type=int, default=None, help="process-pool size (default: min(8, cpus))")
     parser.add_argument("--serial", action="store_true", help="disable the process pool")
     parser.add_argument("--json", default=None, help="write per-run records to this JSON file")
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the sweep under cProfile and print the top-20 cumulative "
+        "functions (implies --serial: pool workers are separate processes "
+        "the profiler cannot see into)",
+    )
     parser.add_argument("--list", action="store_true", help="list registered scenarios and exit")
     args = parser.parse_args(argv)
 
@@ -80,12 +87,27 @@ def main(argv=None) -> int:
             spec = spec.with_overrides(num_workers=args.num_workers)
         specs.append(spec)
 
-    runner = SweepRunner(max_workers=args.pool, parallel=not args.serial)
+    runner = SweepRunner(max_workers=args.pool, parallel=not (args.serial or args.profile))
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
     start = time.perf_counter()
+    if profiler is not None:
+        profiler.enable()
     result = runner.run(specs, seeds=seeds)
+    if profiler is not None:
+        profiler.disable()
     elapsed = time.perf_counter() - start
 
     print(result.table())
+    if profiler is not None:
+        import pstats
+
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative")
+        stats.print_stats(20)
     total_events = sum(r.summary.total_requests for r in result.records)
     print(
         f"\n{len(result.records)} runs ({len(names)} scenarios x {len(seeds)} seeds), "

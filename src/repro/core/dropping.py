@@ -26,6 +26,7 @@ simulator, the unit tests and the ablation benchmark of Figure 7.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -133,6 +134,24 @@ class DropPolicy:
         """
         return True
 
+    def arrival_process_floor(self, is_last_task: bool, expected_processing_ms: float) -> float:
+        """Remaining-SLO floor above which :meth:`on_arrival` is a sure PROCESS.
+
+        The calendar engine's bulk delivery handler compares each query's
+        remaining SLO budget against this floor and skips the per-query
+        :meth:`on_arrival` call when ``remaining_slo_ms >= floor`` — the
+        policy has promised a plain PROCESS with no RNG and no side effects
+        for any such query (``is_last_task`` and ``expected_processing_ms``
+        are per-worker constants, so the floor is computed once per run).
+        ``-inf`` means on_arrival never drops here; ``+inf`` — the
+        conservative default — means "always consult", keeping third-party
+        policies that only override :meth:`on_arrival` correct.  As with
+        :meth:`needs_forward_decision`, a subclass overriding ``on_arrival``
+        must also override this hook if it inherits a less conservative
+        answer from its parent.
+        """
+        return math.inf
+
     def on_forward_batch(
         self,
         time_in_task_ms: float,
@@ -171,6 +190,10 @@ class NoEarlyDropping(DropPolicy):
     def needs_forward_decision(self, time_in_task_ms: float, budget_ms: float) -> bool:
         return False
 
+    def arrival_process_floor(self, is_last_task: bool, expected_processing_ms: float) -> float:
+        # on_arrival is the base PROCESS-always: no floor at all.
+        return -math.inf
+
 
 class LastTaskDropping(DropPolicy):
     """Drop only at the last task, when the leftover budget cannot cover processing."""
@@ -181,6 +204,10 @@ class LastTaskDropping(DropPolicy):
         if is_last_task and remaining_slo_ms < expected_processing_ms:
             return DropDecision(DropAction.DROP, reason="leftover budget below last-task processing time")
         return PROCESS_DECISION
+
+    def arrival_process_floor(self, is_last_task: bool, expected_processing_ms: float) -> float:
+        # Drops only at the last task, and only when remaining < expected.
+        return expected_processing_ms if is_last_task else -math.inf
 
 
 class PerTaskDropping(DropPolicy):
@@ -225,6 +252,11 @@ class PerTaskDropping(DropPolicy):
         if remaining_slo_ms <= 0:
             return DropDecision(DropAction.DROP, reason="remaining SLO budget exhausted")
         return PROCESS_DECISION
+
+    def arrival_process_floor(self, is_last_task: bool, expected_processing_ms: float) -> float:
+        # Drops exactly when remaining <= 0: any positive remaining budget
+        # is a sure PROCESS.
+        return math.nextafter(0.0, math.inf)
 
 
 class OpportunisticRerouting(DropPolicy):
@@ -341,6 +373,11 @@ class OpportunisticRerouting(DropPolicy):
         if is_last_task and remaining_slo_ms < expected_processing_ms:
             return DropDecision(DropAction.DROP, reason="cannot finish within SLO even if executed immediately")
         return PROCESS_DECISION
+
+    def arrival_process_floor(self, is_last_task: bool, expected_processing_ms: float) -> float:
+        # Same arrival rule as LastTaskDropping: only last-task arrivals with
+        # remaining < expected are dropped.
+        return expected_processing_ms if is_last_task else -math.inf
 
 
 #: Policy registry used by the configuration surface and Figure 7's ablation.

@@ -94,7 +94,10 @@ def _rehost(sim: "ServingSimulation") -> None:
     be refreshed explicitly.
     """
     if sim.current_plan is not None:
-        sim.cluster.apply_plan(sim.current_plan, sim.pipeline, sim.engine.now_s)
+        # Through the simulation's own plan hook (not cluster.apply_plan
+        # directly): rehosting remaps logical workers, which must also drop
+        # the calendar engine's cached delivery contexts.
+        sim._apply_plan(sim.current_plan)
 
 
 def schedule_runtime_faults(sim: "ServingSimulation", faults: Sequence[FaultSpec]) -> None:

@@ -162,6 +162,10 @@ class ScenarioSpec:
     #: end-to-end events/s on arrival-dominated runs, statistically but not
     #: bit-for-bit equivalent because routes/delays are drawn in bulk)
     dispatch_mode: str = "scalar"
+    #: event-core backend of the simulator: ``"heap"`` (default; the binary
+    #: heap behind the parity goldens) or ``"calendar"`` (opt-in columnar
+    #: calendar queue with macro-dispatch — same event order, bulk-drained)
+    engine: str = "heap"
     #: None selects the system default (Loki: opportunistic rerouting,
     #: baselines: no early dropping), matching the paper's comparisons
     drop_policy: Optional[str] = None
@@ -240,6 +244,7 @@ class ScenarioSpec:
             arrival_params=dict(self.arrival_params),
             content_mode=self.content_mode,
             dispatch_mode=self.dispatch_mode,
+            engine=self.engine,
             drop_policy=self.resolved_drop_policy(),
         )
         # sim_overrides wins over spec-level fields (e.g. dispatch_mode,

@@ -1,0 +1,867 @@
+"""Columnar calendar-queue event core (opt-in ``engine="calendar"``).
+
+The default engine keeps every pending event as a Python object inside a
+binary heap — ~1 µs of pointer-chasing and refcounting per dispatch.  This
+module stores pending events *columnar* instead, in parallel NumPy arrays
+(`time_s`, `seq`, `kind`, tombstone bitmap) plus per-row payload columns, and
+organises them as a Brown-style bucketed calendar queue:
+
+* **push** appends a row and drops its handle into the bucket covering its
+  timestamp — O(1) amortized, no heap sift;
+* **bulk preload** places a whole array of rows with one floor-divide, one
+  argsort and one pass of bucket appends — O(n) and allocation-free per event;
+* **pop** lazily sorts one bucket at a time (``(time, seq)`` order, identical
+  tie-breaking to the heap) and then walks a cursor through the sorted
+  entries — buckets hold pre-built ``(time, seq, handle, kind)`` tuples, so
+  activation is one near-linear Timsort of already-bursted rows and every
+  claim or peek is a plain tuple read, no per-claim NumPy calls;
+* **cancellation** flips bits in the tombstone bitmap (columnar rows) or the
+  event's ``cancelled`` flag (object rows) and is filtered out vectorized.
+
+Pushes that land in (or before) the bucket currently being drained go to a
+small *spill* heap that is merged with the sorted cursor, so mid-run
+scheduling keeps exact ``(time, seq)`` order.
+
+On top of the queue, :class:`CalendarEngine` adds **macro-dispatch**: instead
+of dispatching one event per loop iteration, it claims a *run* of consecutive
+same-kind entries and hands the whole run to a bulk handler (or executes the
+run's event objects in a tight loop).  A run never skips over an entry of a
+different kind, and is additionally capped by a per-kind *reaction window* —
+an engine-configured lower bound on how far in the future any event spawned
+by a handler of that kind can land.  Under that cap every event scheduled
+mid-run has ``(time, seq)`` at or beyond the end of the claimed run (equal
+times lose the FIFO tie-break to the already-claimed entries), so
+macro-dispatch executes the exact event order of the heap engine — it is a
+throughput optimisation, not a semantic change.
+
+The simulation wires this up in ``ServingSimulation`` (see
+``_configure_calendar_engine``): network-delay and service-latency floors
+provide the reaction windows, and frontend bursts push deliveries as
+*columnar rows* (query + logical-target columns) that a bulk handler drains
+without ever materialising per-event objects.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from itertools import repeat
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.simulator.events import CallbackEvent, Event
+
+__all__ = [
+    "CalendarQueue",
+    "CalendarEngine",
+    "KIND_CALLBACK",
+    "KIND_ARRIVAL",
+    "KIND_ARRIVAL_BURST",
+    "KIND_DELIVERY",
+    "KIND_ROUTED_DELIVERY",
+    "KIND_BATCH_COMPLETE",
+    "KIND_MODEL_READY",
+    "KIND_SWAP_COMPLETE",
+    "KIND_CONTROL_TICK",
+    "KIND_GENERIC",
+    "KIND_COLUMNAR_DELIVERY",
+]
+
+# Stable codes for the simulator's builtin event kinds.  Unknown kind strings
+# (third-party Event subclasses) get per-queue dynamic codes >= _DYNAMIC_BASE.
+KIND_CALLBACK = 0
+KIND_ARRIVAL = 1
+KIND_ARRIVAL_BURST = 2
+KIND_DELIVERY = 3
+KIND_ROUTED_DELIVERY = 4
+KIND_BATCH_COMPLETE = 5
+KIND_MODEL_READY = 6
+KIND_SWAP_COMPLETE = 7
+KIND_CONTROL_TICK = 8
+KIND_GENERIC = 9
+#: an object-free delivery row: payload columns carry (query, logical target)
+KIND_COLUMNAR_DELIVERY = 16
+
+_BUILTIN_CODES = {
+    "callback": KIND_CALLBACK,
+    "arrival": KIND_ARRIVAL,
+    "arrival_burst": KIND_ARRIVAL_BURST,
+    "delivery": KIND_DELIVERY,
+    "routed_delivery": KIND_ROUTED_DELIVERY,
+    "batch_complete": KIND_BATCH_COMPLETE,
+    "model_ready": KIND_MODEL_READY,
+    "swap_complete": KIND_SWAP_COMPLETE,
+    "control_tick": KIND_CONTROL_TICK,
+    "generic": KIND_GENERIC,
+}
+_DYNAMIC_BASE = 32
+
+#: bulk loads above this size presort rows by bucket (one vectorized argsort)
+#: so placement pays one dict probe per bucket instead of per row; below it
+#: the plain loop with a same-bucket memo is cheaper than the sort.
+_PRESORT_THRESHOLD = 512
+
+
+class CalendarQueue:
+    """Bucketed calendar queue over columnar NumPy storage.
+
+    API-compatible with :class:`~repro.simulator.events.EventQueue` for
+    object events (``push``/``schedule``/``extend``/``pop``/``peek_time``/
+    ``len``), plus the columnar fast path (:meth:`push_columnar`,
+    :meth:`take_payloads`, :meth:`cancel_rows`) used by the batched delivery
+    pipeline.  Ordering is exactly ``(time_s, seq)`` with ``seq`` assigned in
+    push order — identical FIFO tie-breaking to the heap queue.
+    """
+
+    __slots__ = (
+        "_width",
+        "_cap",
+        "_n",
+        "_time",
+        "_seqs",
+        "_kinds",
+        "_alive",
+        "_obj",
+        "_p1",
+        "_p2",
+        "_buckets",
+        "_bucket_heap",
+        "_cur",
+        "_entries",
+        "_pos",
+        "_spill",
+        "_seq",
+        "_live",
+        "_codes",
+        "_next_code",
+        "columnar_kinds",
+    )
+
+    def __init__(self, bucket_width_s: float = 0.005):
+        if bucket_width_s <= 0:
+            raise ValueError("bucket width must be positive")
+        self._width = float(bucket_width_s)
+        self._cap = 1024
+        self._n = 0  # rows ever allocated (handles are never reused)
+        self._time = np.empty(self._cap, dtype=np.float64)
+        self._seqs = np.empty(self._cap, dtype=np.int64)
+        self._kinds = np.empty(self._cap, dtype=np.int16)
+        #: tombstone bitmap: a bytearray so per-row reads/writes in the drain
+        #: loop stay pure Python; vectorized cancellation views it through
+        #: ``np.frombuffer`` (shared memory, no copy)
+        self._alive = bytearray(self._cap)
+        #: object rows: the Event instance; columnar rows: None
+        self._obj: List[object] = [None] * self._cap
+        #: columnar payload columns (delivery rows: query, logical target id)
+        self._p1: List[object] = [None] * self._cap
+        self._p2: List[object] = [None] * self._cap
+        #: absolute bucket index -> list of (time, seq, handle, kind) tuples,
+        #: unsorted until the bucket is activated for draining
+        self._buckets: Dict[int, List[Tuple[float, int, int, int]]] = {}
+        #: min-heap of pending bucket indices (pushed once per bucket creation)
+        self._bucket_heap: List[int] = []
+        #: index of the bucket currently being drained (-1 before the first)
+        self._cur = -1
+        #: the current bucket's entries sorted by (time, seq), plus a cursor.
+        #: Time/seq/kind are immutable per handle, so a sorted bucket can only
+        #: go stale in *liveness* — which the drain re-checks per entry.
+        self._entries: Optional[List[Tuple[float, int, int, int]]] = None
+        self._pos = 0
+        #: (time, seq, handle) heap for pushes landing at/before the current
+        #: bucket — merged with the sorted cursor so mid-run pushes keep order
+        self._spill: List[Tuple[float, int, int]] = []
+        self._seq = 0
+        self._live = 0
+        self._codes = dict(_BUILTIN_CODES)
+        self._next_code = _DYNAMIC_BASE
+        #: kind codes whose rows are columnar (no Event object)
+        self.columnar_kinds: set = {KIND_COLUMNAR_DELIVERY}
+
+    # -- storage ---------------------------------------------------------------
+    def _ensure(self, extra: int) -> None:
+        need = self._n + extra
+        if need <= self._cap:
+            return
+        cap = self._cap
+        while cap < need:
+            cap *= 2
+        for name in ("_time", "_seqs", "_kinds"):
+            old = getattr(self, name)
+            new = np.empty(cap, dtype=old.dtype)
+            new[: self._n] = old[: self._n]
+            setattr(self, name, new)
+        alive = bytearray(cap)
+        alive[: self._n] = self._alive[: self._n]
+        self._alive = alive
+        pad = cap - self._cap
+        self._obj.extend([None] * pad)
+        self._p1.extend([None] * pad)
+        self._p2.extend([None] * pad)
+        self._cap = cap
+
+    def reserve(self, rows: int) -> None:
+        """Pre-grow storage for ``rows`` more rows (handles are never reused).
+
+        Purely a performance hint: bulk loaders that know their total volume
+        up front can pay the array-doubling copies once, outside their hot
+        path, instead of mid-load.
+        """
+        self._ensure(rows)
+
+    def _code_for(self, kind: str) -> int:
+        code = self._codes.get(kind)
+        if code is None:
+            code = self._codes[kind] = self._next_code
+            self._next_code += 1
+        return code
+
+    # -- placement -------------------------------------------------------------
+    def _place(self, handle: int, time_s: float, seq: int, kind: int) -> None:
+        bucket = int(time_s / self._width)
+        if bucket <= self._cur:
+            heappush(self._spill, (time_s, seq, handle))
+            return
+        existing = self._buckets.get(bucket)
+        if existing is None:
+            self._buckets[bucket] = [(time_s, seq, handle, kind)]
+            heappush(self._bucket_heap, bucket)
+        else:
+            existing.append((time_s, seq, handle, kind))
+
+    def _place_bulk(self, entries, bucket_ids: List[int]) -> None:
+        """Drop pre-built ``(time, seq, handle, kind)`` entries into buckets.
+
+        ``bucket_ids`` is the parallel list of target bucket indices.  Rows
+        landing at or before the bucket being drained go to the spill heap.
+        Consecutive rows of the same bucket reuse the looked-up segment, so a
+        time-sorted burst costs one dict probe per *bucket*, not per row.
+        """
+        bucket_map = self._buckets
+        bucket_heap = self._bucket_heap
+        cur = self._cur
+        spill = self._spill
+        last_bucket = None
+        last_segment: Optional[list] = None
+        for bucket, entry in zip(bucket_ids, entries):
+            if bucket == last_bucket:
+                last_segment.append(entry)
+                continue
+            if bucket <= cur:
+                heappush(spill, (entry[0], entry[1], entry[2]))
+                continue
+            segment = bucket_map.get(bucket)
+            if segment is None:
+                segment = bucket_map[bucket] = []
+                heappush(bucket_heap, bucket)
+            segment.append(entry)
+            last_bucket = bucket
+            last_segment = segment
+
+    def _place_bulk_grouped(self, entries: list, sorted_buckets: np.ndarray) -> None:
+        """Place a bucket-sorted entry list with one dict probe per bucket.
+
+        ``entries`` must already be ordered by target bucket (``sorted_buckets``
+        is the parallel index array); the whole segment of a bucket is then
+        appended as one C-level list slice + extend.  Callers sort with one
+        vectorized argsort, which beats the per-row loop of :meth:`_place_bulk`
+        once loads are thousands of rows.
+        """
+        uniq, starts = np.unique(sorted_buckets, return_index=True)
+        bounds = starts.tolist()
+        bounds.append(len(entries))
+        bucket_map = self._buckets
+        bucket_heap = self._bucket_heap
+        cur = self._cur
+        spill = self._spill
+        for i, bucket in enumerate(uniq.tolist()):
+            segment = entries[bounds[i] : bounds[i + 1]]
+            if bucket <= cur:
+                for entry in segment:
+                    heappush(spill, (entry[0], entry[1], entry[2]))
+                continue
+            existing = bucket_map.get(bucket)
+            if existing is None:
+                bucket_map[bucket] = segment
+                heappush(bucket_heap, bucket)
+            else:
+                existing.extend(segment)
+
+    # -- EventQueue-compatible API ----------------------------------------------
+    def push(self, event: Event) -> Event:
+        """Add a pre-constructed event to the calendar."""
+        time_s = event.time_s
+        if time_s < 0:
+            raise ValueError("cannot schedule an event at negative time")
+        self._ensure(1)
+        h = self._n
+        self._n = h + 1
+        self._seq = seq = self._seq + 1
+        code = self._code_for(event.kind)
+        self._time[h] = time_s
+        self._seqs[h] = seq
+        self._kinds[h] = code
+        self._alive[h] = 1
+        self._obj[h] = event
+        event._queue = self
+        self._live += 1
+        self._place(h, time_s, seq, code)
+        return event
+
+    def schedule(self, time_s: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` to run at simulation time ``time_s``."""
+        return self.push(CallbackEvent(time_s, action))
+
+    def extend(self, events: Iterable[Event]) -> None:
+        """Bulk-load many events; FIFO order among equal times, as push.
+
+        Validation happens before any mutation: a negative-time event leaves
+        the calendar untouched and no handle of the rejected batch is ever
+        attached (same contract as ``EventQueue.extend``).
+        """
+        if not isinstance(events, list):
+            events = list(events)
+        m = len(events)
+        if m == 0:
+            return
+        times = np.fromiter((e.time_s for e in events), dtype=np.float64, count=m)
+        if times.min() < 0:
+            raise ValueError("cannot schedule an event at negative time")
+        self._ensure(m)
+        start = self._n
+        self._n = start + m
+        seq0 = self._seq + 1
+        self._seq += m
+        self._time[start : start + m] = times
+        self._seqs[start : start + m] = np.arange(seq0, seq0 + m, dtype=np.int64)
+        code_for = self._code_for
+        kinds = self._kinds
+        obj = self._obj
+        codes: List[int] = []
+        h = start
+        for event in events:
+            kinds[h] = code = code_for(event.kind)
+            codes.append(code)
+            obj[h] = event
+            event._queue = self
+            h += 1
+        self._alive[start : start + m] = b"\x01" * m
+        self._live += m
+        bucket_arr = (times / self._width).astype(np.int64)
+        if m > _PRESORT_THRESHOLD:
+            if not np.any(times[1:] < times[:-1]):
+                # Bulk loads are almost always time-sorted already (whole-trace
+                # arrival arrays): buckets are then nondecreasing and the
+                # argsort plus three fancy gathers can be skipped — the zip
+                # runs over plain ranges instead of permuted index arrays.
+                entries = list(
+                    zip(times.tolist(), range(seq0, seq0 + m), range(start, start + m), codes)
+                )
+                self._place_bulk_grouped(entries, bucket_arr)
+            else:
+                order = np.argsort(bucket_arr, kind="stable")
+                entries = list(
+                    zip(
+                        times[order].tolist(),
+                        (seq0 + order).tolist(),
+                        (start + order).tolist(),
+                        [codes[i] for i in order.tolist()],
+                    )
+                )
+                self._place_bulk_grouped(entries, bucket_arr[order])
+        else:
+            entries = zip(times.tolist(), range(seq0, seq0 + m), range(start, start + m), codes)
+            self._place_bulk(entries, bucket_arr.tolist())
+
+    # -- columnar API ------------------------------------------------------------
+    def push_columnar(self, times, kind: int, payloads1, payloads2=None) -> np.ndarray:
+        """Bulk-load object-free rows: one per ``times[i]`` with payload columns.
+
+        Returns the rows' handles (usable with :meth:`cancel_rows`).  The
+        rows dispatch through the engine's bulk/scalar kind handlers — they
+        have no ``run()`` object, which is exactly the point: nothing is
+        allocated per event on the push side.
+        """
+        times = np.ascontiguousarray(times, dtype=np.float64)
+        m = times.shape[0]
+        if m == 0:
+            return np.empty(0, dtype=np.int64)
+        if times.min() < 0:
+            raise ValueError("cannot schedule an event at negative time")
+        self.columnar_kinds.add(kind)
+        self._ensure(m)
+        start = self._n
+        self._n = start + m
+        seq0 = self._seq + 1
+        self._seq += m
+        self._time[start : start + m] = times
+        self._seqs[start : start + m] = np.arange(seq0, seq0 + m, dtype=np.int64)
+        self._kinds[start : start + m] = kind
+        self._alive[start : start + m] = b"\x01" * m
+        if payloads1 is not None:
+            self._p1[start : start + m] = payloads1 if isinstance(payloads1, list) else list(payloads1)
+        if payloads2 is not None:
+            self._p2[start : start + m] = payloads2 if isinstance(payloads2, list) else list(payloads2)
+        self._live += m
+        bucket_arr = (times / self._width).astype(np.int64)
+        if m > _PRESORT_THRESHOLD:
+            if not np.any(times[1:] < times[:-1]):
+                # Sorted input (the common case): skip the argsort and gathers.
+                entries = list(
+                    zip(times.tolist(), range(seq0, seq0 + m), range(start, start + m), repeat(kind))
+                )
+                self._place_bulk_grouped(entries, bucket_arr)
+            else:
+                order = np.argsort(bucket_arr, kind="stable")
+                entries = list(
+                    zip(
+                        times[order].tolist(),
+                        (seq0 + order).tolist(),
+                        (start + order).tolist(),
+                        repeat(kind),
+                    )
+                )
+                self._place_bulk_grouped(entries, bucket_arr[order])
+        else:
+            entries = zip(times.tolist(), range(seq0, seq0 + m), range(start, start + m), repeat(kind))
+            self._place_bulk(entries, bucket_arr.tolist())
+        return np.arange(start, start + m, dtype=np.int64)
+
+    def cancel_rows(self, handles) -> int:
+        """Vectorized cancellation of columnar rows via the tombstone bitmap.
+
+        Already-dead (cancelled or executed) handles are ignored.  Returns
+        how many rows were actually cancelled.
+        """
+        idx = np.asarray(handles, dtype=np.int64)
+        if idx.size == 0:
+            return 0
+        # Writable zero-copy view over the bytearray bitmap.
+        alive = np.frombuffer(self._alive, dtype=np.uint8)
+        target = idx[alive[idx] != 0]
+        count = int(target.size)
+        if count:
+            alive[target] = 0
+            self._live -= count
+        return count
+
+    def take_payloads(self, handles: List[int]) -> Tuple[List[object], List[object]]:
+        """Gather (and release) the payload columns of claimed columnar rows."""
+        p1 = self._p1
+        p2 = self._p2
+        out1 = [p1[h] for h in handles]
+        out2 = [p2[h] for h in handles]
+        for h in handles:
+            p1[h] = None
+            p2[h] = None
+        return out1, out2
+
+    # -- draining ---------------------------------------------------------------
+    def _dead(self, h: int) -> bool:
+        obj = self._obj[h]
+        if obj is None:
+            return not self._alive[h]
+        return obj.cancelled
+
+    def _release(self, h: int) -> None:
+        self._alive[h] = 0
+        self._obj[h] = None
+        self._p1[h] = None
+        self._p2[h] = None
+
+    def _activate_next_bucket(self) -> bool:
+        bucket_heap = self._bucket_heap
+        buckets = self._buckets
+        while bucket_heap:
+            bucket = heappop(bucket_heap)
+            entries = buckets.pop(bucket, None)
+            self._cur = bucket
+            if not entries:
+                continue
+            # Bursts are appended nearly time-sorted, so this Timsort is
+            # close to linear; (time, seq) tuples need no tie-break key.
+            entries.sort()
+            self._entries = entries
+            self._pos = 0
+            return True
+        return False
+
+    def _peek_settled(self):
+        """``(time, seq, handle, from_spill)`` of the next live entry, or None.
+
+        Dead entries at either head are dropped (and released) on the way;
+        exhausted buckets advance to the next non-empty one.  Spill entries
+        always sort before any future bucket's entries (they belong to the
+        current bucket or earlier), so buckets are only activated when both
+        the cursor and the spill are empty.
+        """
+        while True:
+            entries = self._entries
+            if entries is not None:
+                pos = self._pos
+                n = len(entries)
+                while pos < n:
+                    if self._dead(entries[pos][2]):
+                        self._release(entries[pos][2])
+                        pos += 1
+                        continue
+                    break
+                self._pos = pos
+                if pos >= n:
+                    self._entries = entries = None
+            spill = self._spill
+            while spill:
+                head = spill[0]
+                if self._dead(head[2]):
+                    heappop(spill)
+                    self._release(head[2])
+                    continue
+                break
+            if entries is None:
+                if spill:
+                    st, ss, sh = spill[0]
+                    return (st, ss, sh, True)
+                if not self._activate_next_bucket():
+                    return None
+                continue
+            t, s, h, _ = entries[self._pos]
+            if spill:
+                st, ss, sh = spill[0]
+                if st < t or (st == t and ss < s):
+                    return (st, ss, sh, True)
+            return (t, s, h, False)
+
+    def _claim_head(self, from_spill: bool) -> None:
+        """Remove the entry `_peek_settled` just returned (live count settled)."""
+        if from_spill:
+            heappop(self._spill)
+        else:
+            self._pos += 1
+        self._live -= 1
+
+    def _take_run(self, kind: int, tmax: float, limit) -> Tuple[List[float], List[int]]:
+        """Claim the maximal run of live same-``kind`` entries from the front.
+
+        The run is a *contiguous prefix* of the global ``(time, seq)`` order:
+        it stops at the first live entry of a different kind, the first time
+        past ``tmax``, or ``limit`` entries — it never skips over anything.
+        Claimed entries are removed, detached (object rows) and live-count
+        settled; the returned handles are in execution order.
+        """
+        times: List[float] = []
+        handles: List[int] = []
+        append_time = times.append
+        append_handle = handles.append
+        is_columnar = kind in self.columnar_kinds
+        obj_col = self._obj
+        alive = self._alive
+        spill = self._spill
+        while len(handles) < limit:
+            head = self._peek_settled()
+            if head is None:
+                break
+            t0, s0, h0, from_spill = head
+            if t0 > tmax or self._kinds[h0] != kind:
+                break
+            if from_spill:
+                # Mid-run-scheduled stragglers: claim one at a time (rare).
+                heappop(spill)
+                self._live -= 1
+                if not is_columnar:
+                    obj_col[h0]._queue = None
+                else:
+                    alive[h0] = 0
+                append_time(t0)
+                append_handle(h0)
+                continue
+            # Walk the sorted bucket: plain tuple reads, no NumPy per entry.
+            entries = self._entries
+            pos = self._pos
+            n = len(entries)
+            if spill:
+                bound_t, bound_s, _ = spill[0]
+            else:
+                bound_t = None
+            claimed = 0
+            while pos < n:
+                t, s, h, k = entries[pos]
+                if t > tmax or k != kind:
+                    break
+                if bound_t is not None and (t > bound_t or (t == bound_t and s > bound_s)):
+                    # The next entry sorts after the spill head: stop here so
+                    # the claimed run stays a contiguous prefix of the global
+                    # order (the outer loop picks the spill entry up next).
+                    break
+                pos += 1
+                if is_columnar:
+                    if not alive[h]:
+                        self._release(h)
+                        continue
+                    alive[h] = 0
+                else:
+                    event = obj_col[h]
+                    if event.cancelled:
+                        self._release(h)
+                        continue
+                    event._queue = None
+                    alive[h] = 0
+                claimed += 1
+                append_time(t)
+                append_handle(h)
+                if len(handles) >= limit:
+                    break
+            self._pos = pos
+            self._live -= claimed
+            if pos < n and len(handles) < limit:
+                t_next, _, _, k_next = entries[pos]
+                if t_next > tmax or k_next != kind:
+                    break  # genuine run boundary inside this bucket
+                # blocked only by the spill head — let the outer loop claim it
+        return times, handles
+
+    def _requeue(self, times: List[float], handles: List[int]) -> None:
+        """Put claimed-but-unexecuted object entries back (error recovery)."""
+        spill = self._spill
+        obj_col = self._obj
+        seqs = self._seqs
+        alive = self._alive
+        for t, h in zip(times, handles):
+            event = obj_col[h]
+            if event is None or event.cancelled:
+                continue
+            event._queue = self
+            alive[h] = 1
+            self._live += 1
+            heappush(spill, (t, int(seqs[h]), h))
+
+    def pop(self) -> Optional[Event]:
+        """Pop the next live *object* event (columnar rows drain via the engine)."""
+        while True:
+            head = self._peek_settled()
+            if head is None:
+                return None
+            t, s, h, from_spill = head
+            event = self._obj[h]
+            if event is None:
+                raise TypeError(
+                    "CalendarQueue.pop() reached a columnar row; object-free rows "
+                    "are drained through CalendarEngine's kind handlers"
+                )
+            self._claim_head(from_spill)
+            event._queue = None
+            self._release(h)
+            return event
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live entry without removing it."""
+        head = self._peek_settled()
+        return head[0] if head is not None else None
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+
+class CalendarEngine:
+    """Drop-in :class:`SimulationEngine` replacement running macro-dispatch.
+
+    Same clock/scheduling surface (``schedule``, ``schedule_in``,
+    ``schedule_event``, ``preload``, ``run``, ``step``, ``now_s``,
+    ``events_processed``) over a :class:`CalendarQueue`.  Kinds registered
+    with a *run cap* (:meth:`set_run_cap`) are drained as homogeneous runs —
+    through a bulk handler (:meth:`set_bulk_handler`) when one is registered,
+    else by executing the run's event objects in a tight loop.  Kinds without
+    a cap dispatch one event at a time, exactly like the heap engine.
+
+    The run cap for a kind must be a lower bound on how far ahead of the
+    handled event any *newly scheduled* event can land (the kind's reaction
+    window); see the module docstring for why that makes macro-dispatch
+    order-exact.  ``0.0`` is always safe (runs of equal-time events only).
+    """
+
+    __slots__ = ("queue", "now_s", "events_processed", "_caps", "_bulk", "_scalar")
+
+    def __init__(self, bucket_width_s: float = 0.005):
+        self.queue = CalendarQueue(bucket_width_s)
+        self.now_s: float = 0.0
+        self.events_processed: int = 0
+        #: kind code -> reaction-window span (seconds) allowing run-draining
+        self._caps: Dict[int, float] = {}
+        #: kind code -> bulk handler fn(times, handles)
+        self._bulk: Dict[int, Callable[[List[float], List[int]], None]] = {}
+        #: kind code -> scalar handler fn(time_s, payload1, payload2)
+        #: for columnar rows reached one at a time (``step()``)
+        self._scalar: Dict[int, Callable[[float, object, object], None]] = {}
+
+    # -- handler registry ----------------------------------------------------
+    def set_run_cap(self, kind: int, span_s: float) -> None:
+        """Allow macro-draining runs of ``kind`` spanning up to ``span_s``."""
+        self._caps[kind] = float(span_s)
+
+    def set_bulk_handler(self, kind: int, handler) -> None:
+        self._bulk[kind] = handler
+
+    def set_scalar_handler(self, kind: int, handler) -> None:
+        self._scalar[kind] = handler
+
+    # -- scheduling (mirrors SimulationEngine) --------------------------------
+    def schedule(self, time_s: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` at absolute simulation time ``time_s``."""
+        if time_s < self.now_s - 1e-12:
+            raise ValueError(f"cannot schedule in the past ({time_s} < {self.now_s})")
+        return self.queue.push(CallbackEvent(max(time_s, self.now_s), action))
+
+    def schedule_in(self, delay_s: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` ``delay_s`` seconds from the current time."""
+        if delay_s < 0:
+            raise ValueError("delay cannot be negative")
+        return self.schedule(self.now_s + delay_s, action)
+
+    def schedule_event(self, event: Event) -> Event:
+        """Schedule a pre-constructed typed event at its own ``time_s``."""
+        time_s = event.time_s
+        now = self.now_s
+        if time_s < now:
+            if time_s < now - 1e-12:
+                raise ValueError(f"cannot schedule in the past ({time_s} < {now})")
+            event.time_s = now
+        return self.queue.push(event)
+
+    def preload(self, events: Iterable[Event]) -> None:
+        """Bulk-load many future events in one columnar append."""
+        self.queue.extend(events)
+
+    def push_columnar(self, times, kind: int, payloads1, payloads2=None) -> np.ndarray:
+        """Bulk-load object-free rows (see :meth:`CalendarQueue.push_columnar`)."""
+        return self.queue.push_columnar(times, kind, payloads1, payloads2)
+
+    def reserve(self, rows: int) -> None:
+        """Pre-grow queue storage for ``rows`` more rows (performance hint)."""
+        self.queue.reserve(rows)
+
+    # -- running ---------------------------------------------------------------
+    def run(self, until_s: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Process events until the horizon, event budget or calendar end.
+
+        Identical contract to ``SimulationEngine.run``: ``until_s`` is the
+        authoritative stop time; only an exhausted ``max_events`` budget
+        leaves the clock at the last processed event.
+        """
+        queue = self.queue
+        horizon = float("inf") if until_s is None else until_s
+        budget = float("inf") if max_events is None else max_events
+        caps = self._caps
+        bulk = self._bulk
+        # NOTE: queue._kinds/_time/_seqs must be re-read every iteration —
+        # handlers can push enough events that _ensure() replaces the arrays.
+        # The payload *lists* (_obj/_p1/_p2) grow in place and stay valid.
+        obj_col = queue._obj
+        processed = 0
+        budget_exhausted = False
+        try:
+            while processed < budget:
+                head = queue._peek_settled()
+                if head is None:
+                    break
+                time_s, seq, h, from_spill = head
+                if time_s > horizon:
+                    # Past the horizon: the entry stays pending with its
+                    # original sequence, so a resumed run sees unchanged order.
+                    break
+                kind = int(queue._kinds[h])
+                span = caps.get(kind)
+                if span is None:
+                    # Unbatchable kind: dispatch exactly one event.
+                    queue._claim_head(from_spill)
+                    self.now_s = time_s
+                    processed += 1
+                    event = obj_col[h]
+                    if event is not None:
+                        event._queue = None
+                        queue._release(h)
+                        event.run()
+                    else:
+                        payload1 = queue._p1[h]
+                        payload2 = queue._p2[h]
+                        queue._release(h)
+                        self._scalar[kind](time_s, payload1, payload2)
+                    continue
+                tmax = time_s + span
+                if tmax > horizon:
+                    tmax = horizon
+                times, handles = queue._take_run(kind, tmax, budget - processed)
+                if not handles:  # pragma: no cover - head was live a moment ago
+                    break
+                handler = bulk.get(kind)
+                if handler is not None:
+                    processed += len(handles)
+                    handler(times, handles)
+                    self.now_s = times[-1]
+                else:
+                    processed += self._run_object_entries(times, handles)
+            if processed >= budget:
+                budget_exhausted = True
+        finally:
+            self.events_processed += processed
+        if until_s is not None and not budget_exhausted and until_s > self.now_s:
+            self.now_s = until_s
+        return self.now_s
+
+    def _run_object_entries(self, times: List[float], handles: List[int]) -> int:
+        """Execute a claimed run of event objects; returns how many ran.
+
+        Events cancelled *during* the run (by an earlier event of the same
+        run) are skipped exactly as the heap engine would skip them.  If a
+        handler raises, the unexecuted tail is requeued so the pending set
+        matches what a heap run would leave behind.
+        """
+        queue = self.queue
+        obj_col = queue._obj
+        executed = 0
+        i = 0
+        n = len(handles)
+        try:
+            while i < n:
+                h = handles[i]
+                t = times[i]
+                i += 1
+                event = obj_col[h]
+                if event.cancelled:
+                    queue._release(h)
+                    continue
+                self.now_s = t
+                executed += 1
+                queue._release(h)
+                event.run()
+        except BaseException:
+            queue._requeue(times[i:], handles[i:])
+            # The caller's `processed +=` never runs when a handler raises:
+            # credit the executed prefix here so events_processed matches what
+            # a heap run (which counts before each run()) would report.
+            self.events_processed += executed
+            raise
+        return executed
+
+    def step(self) -> bool:
+        """Process exactly one event; returns False when the calendar is empty."""
+        queue = self.queue
+        head = queue._peek_settled()
+        if head is None:
+            return False
+        time_s, seq, h, from_spill = head
+        queue._claim_head(from_spill)
+        self.now_s = time_s
+        event = queue._obj[h]
+        if event is not None:
+            event._queue = None
+            queue._release(h)
+            event.run()
+        else:
+            kind = int(queue._kinds[h])
+            payload1 = queue._p1[h]
+            payload2 = queue._p2[h]
+            queue._release(h)
+            self._scalar[kind](time_s, payload1, payload2)
+        self.events_processed += 1
+        return True

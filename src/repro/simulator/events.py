@@ -353,7 +353,11 @@ class EventQueue:
         """Time of the next non-cancelled event without removing it."""
         heap = self._heap
         while heap and heap[0][2].cancelled:
-            heappop(heap)
+            # Detach the discarded handle, exactly as pop() does: the entry
+            # leaves the heap here, so the event must no longer reference the
+            # queue (a handle kept around and "re-cancelled" after a manual
+            # flag reset would otherwise corrupt the live count).
+            heappop(heap)[2]._queue = None
         return heap[0][0] if heap else None
 
     def __len__(self) -> int:

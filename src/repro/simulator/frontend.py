@@ -23,6 +23,7 @@ from __future__ import annotations
 from itertools import repeat
 from typing import Dict, Optional, TYPE_CHECKING
 
+from repro.simulator.calendar import KIND_COLUMNAR_DELIVERY
 from repro.simulator.events import RoutedDeliveryEvent
 from repro.simulator.query import IntermediateQuery, Request
 
@@ -146,12 +147,20 @@ class Frontend:
         entries, indices = drawn
         worker_ids = [entry.worker_id for entry in entries]
         delays = sim.network.sample_delays_s(sim.rng, count)
-        delivery_times = (times + delays).tolist()
+        delivery_times = times + delays
         queries = self._materialize_chunk(times_list, root_task)
         targets = [worker_ids[i] for i in indices.tolist()]
         # The forwarded counters are bumped by each delivery as it fires
         # (matching scalar forward_query timing).
-        deliveries = list(map(RoutedDeliveryEvent, delivery_times, repeat(sim), targets, queries))
+        if getattr(sim, "calendar_mode", False):
+            # Columnar event core: the burst's deliveries enter the calendar
+            # as object-free rows (query + logical-target payload columns) —
+            # nothing per-event is allocated until a macro-run drains them.
+            sim.engine.push_columnar(delivery_times, KIND_COLUMNAR_DELIVERY, queries, targets)
+            return
+        deliveries = list(
+            map(RoutedDeliveryEvent, delivery_times.tolist(), repeat(sim), targets, queries)
+        )
         sim.engine.preload(deliveries)
 
     def _materialize_chunk(self, times_list, root_task):

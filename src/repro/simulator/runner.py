@@ -10,6 +10,7 @@ substrate as Loki.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from itertools import repeat
 from typing import Dict, List, Optional, Protocol, Tuple
@@ -17,9 +18,18 @@ from typing import Dict, List, Optional, Protocol, Tuple
 import numpy as np
 
 from repro.core.allocation import AllocationPlan
-from repro.core.dropping import DropPolicy, make_drop_policy
+from repro.core.dropping import DropAction, DropPolicy, make_drop_policy
 from repro.core.load_balancer import BackupEntry, RoutingPlan, RoutingTable
 from repro.core.pipeline import Pipeline
+from repro.simulator.calendar import (
+    CalendarEngine,
+    KIND_ARRIVAL,
+    KIND_ARRIVAL_BURST,
+    KIND_BATCH_COMPLETE,
+    KIND_COLUMNAR_DELIVERY,
+    KIND_DELIVERY,
+    KIND_ROUTED_DELIVERY,
+)
 from repro.simulator.cluster import Cluster
 from repro.simulator.engine import SimulationEngine
 from repro.simulator.events import (
@@ -40,6 +50,10 @@ from repro.workloads.content import MultiplicativeContentModel
 from repro.workloads.traces import Trace
 
 __all__ = ["ControlPlane", "SimulationConfig", "ServingSimulation"]
+
+#: cache-miss sentinel: a delivery context is a tuple (fast path) or None
+#: (slow path), so neither can stand in for "not built yet"
+_UNBUILT = object()
 
 
 class ControlPlane(Protocol):
@@ -79,6 +93,13 @@ class SimulationConfig:
     #: through one frozen-table draw regardless of this knob, so changing it
     #: cannot change their results.
     batch_route_chunk: int = 64
+    #: event-core backend.  ``"heap"`` (default) is the pure-Python binary
+    #: heap, RNG-stream-identical to every previous release.  ``"calendar"``
+    #: is the columnar bucketed calendar queue with macro-dispatch
+    #: (``repro.simulator.calendar``): same event order — the equivalence
+    #: suite pins identical (time, seq) execution — but bulk-drained, and in
+    #: batched dispatch mode deliveries flow as object-free columnar rows.
+    engine: str = "heap"
     drop_policy: str = "opportunistic_rerouting"
     content_mode: str = "poisson"
     network_latency_ms: float = 2.0
@@ -118,7 +139,14 @@ class ServingSimulation:
         #: routing, network delays, sink returns) into vectorized draws;
         #: scalar mode keeps the historical per-query stream bit-for-bit
         self.batched_dispatch = self.config.dispatch_mode == "batched"
-        self.engine = SimulationEngine()
+        if self.config.engine not in ("heap", "calendar"):
+            raise ValueError(
+                f"unknown engine {self.config.engine!r}; expected 'heap' or 'calendar'"
+            )
+        #: columnar calendar-queue event core with macro-dispatch (opt-in);
+        #: the heap engine stays the RNG-stream-identical default
+        self.calendar_mode = self.config.engine == "calendar"
+        self.engine = CalendarEngine() if self.calendar_mode else SimulationEngine()
         self.rng = np.random.default_rng(self.config.seed)
         self.network = NetworkModel(self.config.network_latency_ms, self.config.network_jitter_ms)
         self.content_model = content_model or MultiplicativeContentModel(mode=self.config.content_mode)
@@ -161,6 +189,17 @@ class ServingSimulation:
         #: per-task arrivals in the current demand-reporting window (consumed by
         #: pipeline-agnostic control planes through ``report_task_demand``)
         self.task_arrivals: Dict[str, int] = {task: 0 for task in pipeline.tasks}
+        #: reaction-window floors for calendar macro-dispatch: the smallest
+        #: possible network hop, and the smallest batch execution time any
+        #: hosted variant can produce (monotone running min over applied plans)
+        self._net_floor_s = max(0.0, self.network.latency_ms - self.network.jitter_ms) / 1000.0
+        self._service_floor_ms = math.inf
+        #: logical id -> fast-path delivery context (see _build_delivery_context);
+        #: cleared on every plan application, revalidated per row against the
+        #: live assignment
+        self._delivery_contexts: Dict[str, object] = {}
+        if self.calendar_mode:
+            self._configure_calendar_engine()
 
     # ------------------------------------------------------------------ run --
     def run(self) -> SimulationSummary:
@@ -287,7 +326,182 @@ class ServingSimulation:
 
     def _apply_plan(self, plan: AllocationPlan) -> None:
         self.current_plan = plan
-        self.cluster.apply_plan(plan, self.pipeline, self.engine.now_s)
+        logical_workers = self.cluster.apply_plan(plan, self.pipeline, self.engine.now_s)
+        if self.calendar_mode:
+            # The logical->physical mapping may have changed; cached delivery
+            # contexts resolve through it, so they are all suspect now.
+            self._delivery_contexts.clear()
+            self._update_service_floor(logical_workers)
+
+    # ------------------------------------------- calendar-engine macro-dispatch --
+    def _configure_calendar_engine(self) -> None:
+        """Wire the columnar event core: reaction windows plus delivery handlers.
+
+        The run cap registered for each kind is a *lower bound on how far
+        ahead* any event spawned by that kind's handlers can land (see
+        ``repro.simulator.calendar``): arrivals and arrival bursts only spawn
+        network deliveries (never earlier than the minimum hop delay),
+        deliveries only spawn batch completions (never earlier than the
+        fastest hosted variant's execution time), and batch completions spawn
+        both.  Control ticks, callbacks, model loads and swaps can reschedule
+        arbitrarily, so they keep per-event dispatch.  Cached delivery
+        contexts survive across runs (see :meth:`_build_delivery_context` for
+        the invalidation argument).
+        """
+        engine = self.engine
+        engine.set_bulk_handler(KIND_COLUMNAR_DELIVERY, self._run_delivery_rows)
+        engine.set_scalar_handler(KIND_COLUMNAR_DELIVERY, self._deliver_row)
+        self._refresh_run_caps()
+
+    def _refresh_run_caps(self) -> None:
+        engine = self.engine
+        net = self._net_floor_s
+        floor_ms = self._service_floor_ms
+        service = floor_ms / 1000.0 if floor_ms != math.inf else math.inf
+        engine.set_run_cap(KIND_ARRIVAL, net)
+        engine.set_run_cap(KIND_ARRIVAL_BURST, net)
+        engine.set_run_cap(KIND_DELIVERY, service)
+        engine.set_run_cap(KIND_ROUTED_DELIVERY, service)
+        engine.set_run_cap(KIND_COLUMNAR_DELIVERY, service)
+        engine.set_run_cap(KIND_BATCH_COMPLETE, min(net, service))
+
+    def _update_service_floor(self, logical_workers) -> None:
+        """Tighten the service-time reaction window to the new plan's variants.
+
+        Monotone running min over every variant a plan has ever hosted:
+        batches started under an old plan may still complete after a new one
+        applies, so the window only shrinks.  The per-variant minimum bounds
+        ``execution_latency_ms`` for *any* batch count — the smallest table
+        entry for table variants (interpolation and clamping stay between
+        measured points), batch count 1 for the linear model.
+        """
+        floor = self._service_floor_ms
+        registry = self.pipeline.registry
+        seen = set()
+        for state in logical_workers:
+            name = state.variant_name
+            if name in seen:
+                continue
+            seen.add(name)
+            variant = registry.variant(name)
+            table = variant.latency_table
+            if table:
+                low = min(table.values())
+            else:
+                low = variant.base_latency_ms + variant.per_item_latency_ms
+            if low < floor:
+                floor = low
+        if floor < self._service_floor_ms:
+            self._service_floor_ms = floor
+            self._refresh_run_caps()
+
+    def _build_delivery_context(self, worker_id: str):
+        """Per-run fast-path context for one logical delivery target.
+
+        ``None`` marks the slow path: unhosted/failed worker, no assignment,
+        or a drop policy whose :meth:`DropPolicy.arrival_process_floor` cannot
+        promise decision-free arrivals (third-party policies).  Otherwise the
+        tuple carries everything the inlined enqueue needs, including the
+        assignment it was derived from.  Contexts persist across macro-runs in
+        ``_delivery_contexts``; two things keep them honest: every plan
+        application clears the whole cache (the logical->physical mapping may
+        move), and the bulk handler re-checks ``worker.assignment`` *identity*
+        per row — worker failure nulls the assignment and every swap or
+        reassignment replaces the object, so any other invalidation shows up
+        as a mismatch.  A cached ``None`` can only turn fast again via a plan
+        application (nothing else hosts a logical worker), and the slow path
+        is exact regardless.
+        """
+        worker = self.cluster.logical_map.get(worker_id)
+        if worker is None or worker.failed:
+            return None
+        assignment = worker.assignment
+        if assignment is None:
+            return None
+        child_edges = assignment.child_edges
+        if child_edges is None:
+            child_edges = tuple(self.pipeline.children(assignment.task))
+        floor_ms = self.drop_policy.arrival_process_floor(
+            not child_edges, assignment.expected_latency_ms
+        )
+        if math.isnan(floor_ms) or floor_ms == math.inf:
+            return None
+        return (worker, worker.queue.append, floor_ms, assignment.task, assignment)
+
+    def _deliver_query_slow(self, worker_id: str, query: IntermediateQuery) -> int:
+        """Deliver one columnar row the long way; returns forwarded count.
+
+        Mirrors ``RoutedDeliveryEvent.run`` exactly, except the forwarded
+        counters are left to the caller (the bulk handler flushes them once
+        per run): an unhosted target drops without counting as forwarded,
+        everything else counts even when ``enqueue``'s policy then drops it.
+        """
+        worker = self.cluster.logical_map.get(worker_id)
+        if worker is None:
+            self.notify_drop(query, reason=f"logical worker {worker_id} not hosted")
+            return 0
+        worker.enqueue(query)
+        return 1
+
+    def _deliver_row(self, time_s: float, query, worker_id) -> None:
+        """Scalar handler for a single columnar delivery row (``engine.step``)."""
+        forwarded = self._deliver_query_slow(worker_id, query)
+        self.forwarded_queries += forwarded
+        self._tele_forwarded.value += forwarded
+
+    def _run_delivery_rows(self, times, handles) -> None:
+        """Bulk handler draining one claimed run of columnar delivery rows.
+
+        The hot path inlines ``RoutedDeliveryEvent.run`` + ``SimWorker.enqueue``
+        for targets whose drop policy pre-promises a PROCESS decision (see
+        :meth:`DropPolicy.arrival_process_floor`): resolve once per target
+        per plan epoch, then per row it is one assignment-identity check, one
+        deadline subtraction, one deque append and the idle-worker batch
+        check.  Rows that cannot take the fast path fall back to the exact
+        scalar sequence.  Telemetry counters are flushed once per run.
+        """
+        engine = self.engine
+        queries, targets = engine.queue.take_payloads(handles)
+        contexts = self._delivery_contexts
+        build = self._build_delivery_context
+        slow = self._deliver_query_slow
+        task_arrivals = self.task_arrivals
+        forwarded = 0
+        for t, query, worker_id in zip(times, queries, targets):
+            ctx = contexts.get(worker_id, _UNBUILT)
+            if ctx is _UNBUILT:
+                ctx = contexts[worker_id] = build(worker_id)
+            if ctx is None:
+                engine.now_s = t
+                forwarded += slow(worker_id, query)
+                continue
+            worker, append, floor_ms, task, assignment = ctx
+            if worker.assignment is not assignment:
+                # Failed (assignment nulled) or swapped/reassigned since the
+                # context was built: rebuild from live state.
+                ctx = contexts[worker_id] = build(worker_id)
+                if ctx is None:
+                    engine.now_s = t
+                    forwarded += slow(worker_id, query)
+                    continue
+                worker, append, floor_ms, task, assignment = ctx
+            if (query.request.deadline_s - t) * 1000.0 < floor_ms:
+                engine.now_s = t
+                forwarded += slow(worker_id, query)
+                continue
+            forwarded += 1
+            task_arrivals[task] += 1
+            query.worker_arrival_s = t
+            append(query)
+            if not worker.busy:
+                # The clock only needs to be exact when side effects can read
+                # it: a bare enqueue touches nothing time-dependent, so the
+                # store is deferred to the batch-start (and slow) paths.
+                engine.now_s = t
+                worker._maybe_start_batch()
+        engine.now_s = times[-1]
+        self.forwarded_queries += forwarded
+        self._tele_forwarded.value += forwarded
 
     # --------------------------------------------------------------- plumbing --
     def new_intermediate_query(

@@ -29,6 +29,7 @@ import numpy as np
 from repro.core.dropping import DropAction
 from repro.core.pipeline import Edge
 from repro.core.profiles import ModelVariant
+from repro.simulator.calendar import KIND_COLUMNAR_DELIVERY
 from repro.simulator.events import (
     BatchCompleteEvent,
     ModelReadyEvent,
@@ -463,7 +464,14 @@ class SimWorker:
                 consult_any = consult_any or flag
                 consult.append(flag)
             chunk = sim.config.batch_route_chunk
-            events: List[RoutedDeliveryEvent] = []
+            # Deliveries accumulate as parallel columns (time, target, child)
+            # and materialise once at the end: RoutedDeliveryEvent objects for
+            # the heap calendar (same construction order as before, so the
+            # sequence numbers — and the simulation — are bit-identical), or
+            # one object-free columnar bulk-load under the calendar engine.
+            out_times: List[float] = []
+            out_targets: List[str] = []
+            out_children: List[IntermediateQuery] = []
             query_id = sim._next_query_id
             requests = [q.request for q in batch]
             accuracies = [q.accuracy_so_far for q in batch]
@@ -507,12 +515,11 @@ class SimWorker:
                 indices_list = indices.tolist()
                 if not consult_any:
                     # Fan-out fast path: every parent is within budget, so the
-                    # policy forwards every child — build the edge's delivery
-                    # events with C-level map iteration, no per-child calls.
-                    targets = [worker_ids[j] for j in indices_list]
-                    events.extend(
-                        map(RoutedDeliveryEvent, delivery_times, repeat(sim), targets, children)
-                    )
+                    # policy forwards every child — extend the delivery
+                    # columns wholesale, no per-child calls.
+                    out_times.extend(delivery_times)
+                    out_targets.extend(worker_ids[j] for j in indices_list)
+                    out_children.extend(children)
                     continue
                 # Mixed batch: walk the children parent by parent (np.repeat
                 # keeps a parent's children contiguous).  Within-budget
@@ -541,15 +548,9 @@ class SimWorker:
                             rng,
                         )
                     if decisions is None:
-                        events.extend(
-                            map(
-                                RoutedDeliveryEvent,
-                                delivery_times[offset:stop],
-                                repeat(sim),
-                                [worker_ids[indices_list[k]] for k in range(offset, stop)],
-                                children[offset:stop],
-                            )
-                        )
+                        out_times.extend(delivery_times[offset:stop])
+                        out_targets.extend(worker_ids[indices_list[k]] for k in range(offset, stop))
+                        out_children.extend(children[offset:stop])
                         offset = stop
                         continue
                     for slot, decision in enumerate(decisions):
@@ -561,13 +562,20 @@ class SimWorker:
                             target_id = decision.target.worker_id
                         else:
                             target_id = group_entries[slot].worker_id
-                        events.append(
-                            RoutedDeliveryEvent(delivery_times[offset + slot], sim, target_id, child)
-                        )
+                        out_times.append(delivery_times[offset + slot])
+                        out_targets.append(target_id)
+                        out_children.append(child)
                     offset = stop
             sim._next_query_id = query_id
-            if events:
-                sim.engine.preload(events)
+            if out_times:
+                if getattr(sim, "calendar_mode", False):
+                    sim.engine.push_columnar(
+                        out_times, KIND_COLUMNAR_DELIVERY, out_children, out_targets
+                    )
+                else:
+                    sim.engine.preload(
+                        list(map(RoutedDeliveryEvent, out_times, repeat(sim), out_targets, out_children))
+                    )
 
         # Every parent query is finished (its children carry on); parents with
         # zero fan-out complete their branch of the request right here.

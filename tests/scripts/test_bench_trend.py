@@ -38,6 +38,24 @@ class TestFlatten:
 
     def test_meta_and_garbage_skipped(self):
         assert bench_trend.flatten({"meta": {"python": "3.11"}}) == {}
+
+    def test_engine_calendar_keys_flow_through(self):
+        """The calendar-engine ablation keys land in the trend table like any
+        other section — no allowlist to update when benchmarks add sections."""
+        record = {
+            "engine_calendar": {
+                "engine_calendar_events_per_s": 2_000_000.0,
+                "batched_calendar_events_per_s": 700_000.0,
+                "end_to_end_speedup_vs_heap": 1.25,
+                "scenario": "calendar_engine_reference",
+            }
+        }
+        flat = bench_trend.flatten(record)
+        assert flat == {
+            "engine_calendar.engine_calendar_events_per_s": 2_000_000.0,
+            "engine_calendar.batched_calendar_events_per_s": 700_000.0,
+            "engine_calendar.end_to_end_speedup_vs_heap": 1.25,
+        }
         assert bench_trend.flatten("nonsense") == {}
         assert bench_trend.flatten({"s": {"flag": True}}) == {}
 

@@ -1,0 +1,415 @@
+"""Calendar event core: exact order-equivalence against the heap engine.
+
+The columnar calendar queue (``repro.simulator.calendar``) claims *identical*
+``(time, seq)`` execution order to :class:`~repro.simulator.events.EventQueue`
+— macro-dispatch is a throughput optimisation, not a semantic change.  This
+suite pins that claim three ways:
+
+* **Property-based order equivalence** (hypothesis): random schedules with
+  heavy equal-time ties, pre-run and mid-run cancellations and mid-run
+  scheduling must execute in exactly the same order on both engines — with
+  and without a run cap enabling macro-dispatch.
+* **Engine-contract parity**: the CalendarEngine passes the same clock /
+  horizon / budget / step / error-accounting contract tests as the heap
+  engine.
+* **End-to-end bit-equality**: builtin scenarios produce *identical* (not
+  just statistically equivalent) summaries under ``engine="calendar"`` in
+  both dispatch modes, because the calendar consumes the RNG stream in the
+  exact same event order.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.scenarios import ScenarioSpec, get_scenario
+from repro.simulator import SimulationConfig
+from repro.simulator.calendar import (
+    KIND_CALLBACK,
+    KIND_COLUMNAR_DELIVERY,
+    CalendarEngine,
+    CalendarQueue,
+)
+from repro.simulator.engine import SimulationEngine
+from repro.simulator.events import CallbackEvent, EventQueue
+
+
+# --------------------------------------------------------------------- helpers
+def _run_schedule(engine, schedule, cap_s=None):
+    """Execute a generated schedule; returns the observed execution order.
+
+    ``schedule`` is a list of (time, child_delays, cancel_targets): event ``i``
+    fires at ``time``, then schedules one child per delay (at ``now + delay``)
+    and cancels the listed root events by index — exercising mid-run
+    scheduling and mid-run cancellation on whatever the engine has already
+    claimed.
+    """
+    if cap_s is not None:
+        engine.set_run_cap(KIND_CALLBACK, cap_s)
+    order = []
+    handles = {}
+
+    def make_action(label, child_delays, cancel_targets):
+        def action():
+            order.append((round(engine.now_s, 9), label))
+            for k, delay in enumerate(child_delays):
+                child = CallbackEvent(engine.now_s + delay, make_action((label, k), (), ()))
+                engine.schedule_event(child)
+            for target in cancel_targets:
+                handle = handles.get(target)
+                if handle is not None:
+                    handle.cancel()
+
+        return action
+
+    for i, (time_s, child_delays, cancel_targets) in enumerate(schedule):
+        handles[i] = engine.schedule_event(
+            CallbackEvent(time_s, make_action(i, child_delays, cancel_targets))
+        )
+    engine.run()
+    return order
+
+
+#: coarse time grid => heavy equal-time ties (the FIFO tie-break is the point)
+_times = st.integers(min_value=0, max_value=12).map(lambda k: k * 0.25)
+_event = st.tuples(
+    _times,
+    st.lists(st.integers(min_value=0, max_value=8).map(lambda k: k * 0.125), max_size=2),
+    st.lists(st.integers(min_value=0, max_value=19), max_size=2),
+)
+
+
+class TestOrderEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(_event, max_size=20))
+    def test_per_event_dispatch_matches_heap(self, schedule):
+        heap_order = _run_schedule(SimulationEngine(), schedule)
+        cal_order = _run_schedule(CalendarEngine(), schedule)
+        assert cal_order == heap_order
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(_event, max_size=20),
+        st.sampled_from([0.0, 0.05, 0.125, 0.5]),
+    )
+    def test_macro_dispatch_matches_heap(self, schedule, cap_s):
+        """With a run cap the calendar drains homogeneous runs — but only
+        when every mid-run spawn lands at least ``cap_s`` ahead, so clamp the
+        generated child delays up to the cap (the engine contract)."""
+        schedule = [
+            (t, tuple(max(d, cap_s) for d in delays), cancels)
+            for t, delays, cancels in schedule
+        ]
+        heap_order = _run_schedule(SimulationEngine(), schedule)
+        cal_order = _run_schedule(CalendarEngine(), schedule, cap_s=cap_s)
+        assert cal_order == heap_order
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(_event, max_size=20), st.sampled_from([0.001, 0.005, 0.3, 10.0]))
+    def test_order_is_bucket_width_independent(self, schedule, width_s):
+        schedule = [
+            (t, tuple(max(d, 0.25) for d in delays), cancels)
+            for t, delays, cancels in schedule
+        ]
+        heap_order = _run_schedule(SimulationEngine(), schedule)
+        cal_order = _run_schedule(CalendarEngine(bucket_width_s=width_s), schedule, cap_s=0.25)
+        assert cal_order == heap_order
+
+
+class TestQueueContract:
+    """CalendarQueue passes EventQueue's behavioural contract."""
+
+    def test_pop_in_time_order_with_fifo_ties(self):
+        queue = CalendarQueue()
+        order = []
+        queue.schedule(2.0, lambda: order.append("late"))
+        for name in "abc":
+            queue.schedule(1.0, lambda n=name: order.append(n))
+        while queue:
+            queue.pop().run()
+        assert order == ["a", "b", "c", "late"]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            CalendarQueue().schedule(-1.0, lambda: None)
+        with pytest.raises(ValueError):
+            CalendarQueue().extend([CallbackEvent(-1.0, lambda: None)])
+
+    def test_extend_validates_before_mutating(self):
+        queue = CalendarQueue()
+        kept = queue.schedule(1.0, lambda: None)
+        rejected = CallbackEvent(2.0, lambda: None)
+        with pytest.raises(ValueError):
+            queue.extend([rejected, CallbackEvent(-1.0, lambda: None)])
+        assert len(queue) == 1
+        rejected.cancel()  # never attached: must not corrupt the live count
+        assert len(queue) == 1
+        assert queue.pop() is kept
+
+    def test_live_count_tracks_cancel_and_double_cancel(self):
+        queue = CalendarQueue()
+        events = [queue.schedule(float(i), lambda: None) for i in range(10)]
+        events[3].cancel()
+        events[7].cancel()
+        events[7].cancel()
+        assert len(queue) == 8
+        popped = 0
+        while queue.pop() is not None:
+            popped += 1
+        assert popped == 8 and not queue
+
+    def test_cancel_after_pop_is_a_noop(self):
+        queue = CalendarQueue()
+        first = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        assert queue.pop() is first
+        first.cancel()
+        assert len(queue) == 1
+
+    def test_peek_time_skips_cancelled_head(self):
+        queue = CalendarQueue()
+        head = queue.schedule(1.0, lambda: None)
+        queue.schedule(5.0, lambda: None)
+        assert queue.peek_time() == 1.0
+        head.cancel()
+        assert queue.peek_time() == 5.0
+        assert len(queue) == 1
+
+
+class TestColumnarRows:
+    def test_push_columnar_orders_against_object_events(self):
+        engine = CalendarEngine()
+        seen = []
+        engine.set_run_cap(KIND_COLUMNAR_DELIVERY, 0.0)
+        engine.set_bulk_handler(
+            KIND_COLUMNAR_DELIVERY,
+            lambda times, handles: seen.extend(
+                ("row", t, p) for t, p in zip(times, engine.queue.take_payloads(handles)[0])
+            ),
+        )
+        engine.schedule(0.2, lambda: seen.append(("obj", 0.2)))
+        engine.push_columnar(np.array([0.1, 0.2, 0.3]), KIND_COLUMNAR_DELIVERY, ["a", "b", "c"])
+        engine.run()
+        # the 0.2 row was pushed after the 0.2 callback => FIFO puts it second
+        assert seen == [("row", 0.1, "a"), ("obj", 0.2), ("row", 0.2, "b"), ("row", 0.3, "c")]
+
+    def test_cancel_rows_is_vectorized_and_idempotent(self):
+        queue = CalendarQueue()
+        handles = queue.push_columnar(
+            np.array([0.1, 0.2, 0.3, 0.4]), KIND_COLUMNAR_DELIVERY, list("abcd")
+        )
+        assert len(queue) == 4
+        assert queue.cancel_rows(handles[1:3]) == 2
+        assert queue.cancel_rows(handles[1:3]) == 0  # already dead: ignored
+        assert len(queue) == 2
+
+    def test_pop_refuses_columnar_rows(self):
+        queue = CalendarQueue()
+        queue.push_columnar(np.array([0.1]), KIND_COLUMNAR_DELIVERY, ["x"])
+        with pytest.raises(TypeError, match="columnar"):
+            queue.pop()
+
+    def test_run_claims_stop_at_kind_boundaries(self):
+        """A macro-run is a contiguous same-kind prefix: it must never skip
+        over an interleaved event of a different kind."""
+        engine = CalendarEngine()
+        runs = []
+        engine.set_run_cap(KIND_COLUMNAR_DELIVERY, 10.0)
+        engine.set_bulk_handler(
+            KIND_COLUMNAR_DELIVERY, lambda times, handles: runs.append(list(times))
+        )
+        engine.push_columnar(np.array([0.1, 0.2, 0.4, 0.5]), KIND_COLUMNAR_DELIVERY, [None] * 4)
+        engine.schedule(0.3, lambda: runs.append("callback"))
+        engine.run()
+        assert runs == [[0.1, 0.2], "callback", [0.4, 0.5]]
+
+    def test_growth_beyond_initial_capacity(self):
+        queue = CalendarQueue()
+        n = 5000  # > the initial 1024-row capacity: forces _ensure growth
+        times = np.linspace(0.0, 1.0, n)
+        queue.push_columnar(times, KIND_COLUMNAR_DELIVERY, list(range(n)))
+        assert len(queue) == n
+        engine = CalendarEngine()
+        drained = []
+        engine.queue = queue
+        engine.set_run_cap(KIND_COLUMNAR_DELIVERY, 10.0)
+        engine.set_bulk_handler(KIND_COLUMNAR_DELIVERY, lambda t, h: drained.extend(t))
+        engine.run()
+        assert drained == times.tolist()
+
+
+class TestEngineContract:
+    """The SimulationEngine contract, run against the CalendarEngine."""
+
+    def test_clock_and_counts(self):
+        engine = CalendarEngine()
+        times = []
+        engine.schedule(0.5, lambda: times.append(engine.now_s))
+        engine.schedule(1.5, lambda: times.append(engine.now_s))
+        engine.run()
+        assert times == [0.5, 1.5]
+        assert engine.now_s == 1.5
+        assert engine.events_processed == 2
+
+    def test_horizon_stop_and_resume(self):
+        engine = CalendarEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(10.0, lambda: fired.append(10))
+        assert engine.run(until_s=5.0) == 5.0
+        assert fired == [1]
+        engine.run()
+        assert fired == [1, 10]
+
+    def test_horizon_authoritative_when_calendar_drains_early(self):
+        engine = CalendarEngine()
+        engine.schedule(1.0, lambda: None)
+        assert engine.run(until_s=5.0) == 5.0
+        assert engine.now_s == 5.0
+        assert CalendarEngine().run(until_s=3.0) == 3.0
+
+    def test_exhausted_budget_does_not_jump_to_horizon(self):
+        engine = CalendarEngine()
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule(t, lambda: None)
+        assert engine.run(until_s=10.0, max_events=2) == 2.0
+        assert engine.now_s == 2.0
+        assert engine.run(until_s=10.0) == 10.0
+
+    def test_budget_bounds_macro_runs(self):
+        """max_events must cap a claimed run, not just whole-run boundaries."""
+        engine = CalendarEngine()
+        engine.set_run_cap(KIND_CALLBACK, 10.0)
+        fired = []
+        for t in (1.0, 2.0, 3.0, 4.0):
+            engine.schedule(t, lambda t=t: fired.append(t))
+        engine.run(max_events=3)
+        assert fired == [1.0, 2.0, 3.0]
+        assert engine.events_processed == 3
+        engine.run()
+        assert fired == [1.0, 2.0, 3.0, 4.0]
+
+    def test_scheduling_in_past_rejected(self):
+        engine = CalendarEngine()
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule(0.5, lambda: None)
+        with pytest.raises(ValueError):
+            engine.schedule_in(-1.0, lambda: None)
+
+    def test_events_spawned_during_run_are_processed(self):
+        engine = CalendarEngine()
+        seen = []
+
+        def cascade(depth):
+            seen.append(depth)
+            if depth < 3:
+                engine.schedule_in(0.1, lambda: cascade(depth + 1))
+
+        engine.schedule(0.0, lambda: cascade(0))
+        engine.run()
+        assert seen == [0, 1, 2, 3]
+
+    def test_step(self):
+        engine = CalendarEngine()
+        engine.schedule(1.0, lambda: None)
+        assert engine.step() is True
+        assert engine.step() is False
+
+    def test_raising_callback_keeps_accounting_exact(self):
+        engine = CalendarEngine()
+
+        def boom():
+            raise RuntimeError("injected")
+
+        engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, boom)
+        engine.schedule(3.0, lambda: None)
+        with pytest.raises(RuntimeError):
+            engine.run()
+        assert engine.events_processed == 2  # first event + the raising one
+        assert len(engine.queue) == 1
+        engine.run()
+        assert len(engine.queue) == 0
+
+    def test_raising_callback_inside_macro_run_requeues_tail(self):
+        """A mid-run exception must leave exactly the unexecuted tail
+        pending — same observable state as the heap engine."""
+        engine = CalendarEngine()
+        engine.set_run_cap(KIND_CALLBACK, 10.0)
+        fired = []
+
+        def boom():
+            raise RuntimeError("injected")
+
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(2.0, boom)
+        engine.schedule(3.0, lambda: fired.append(3))
+        engine.schedule(4.0, lambda: fired.append(4))
+        with pytest.raises(RuntimeError):
+            engine.run()
+        assert fired == [1]
+        assert engine.events_processed == 2
+        assert len(engine.queue) == 2
+        engine.run()
+        assert fired == [1, 3, 4]
+        assert engine.events_processed == 4
+
+
+# ------------------------------------------------------------- end-to-end pins
+def _calendarized(spec):
+    """The spec with engine="calendar", preserving its own sim_overrides."""
+    return spec.with_overrides(sim_overrides={**spec.sim_overrides, "engine": "calendar"})
+
+
+_SUMMARY_FIELDS = (
+    "total_requests",
+    "completed_requests",
+    "violated_requests",
+    "slo_violation_ratio",
+    "mean_accuracy",
+    "mean_latency_ms",
+    "p99_latency_ms",
+)
+
+#: single-task and multi-task (fan-out) scenarios x two seeds; the multi-task
+#: run drives the worker-side columnar fan-out path too
+_SCENARIO_GRID = [
+    ("smoke", {}),
+    (
+        "social_twitter_bursty",
+        {"trace_params": {"duration_s": 20, "peak_qps": 1.0, "trough_fraction": 0.15, "seed": 11}},
+    ),
+]
+
+
+class TestScenarioBitEquality:
+    @pytest.mark.parametrize("name,overrides", _SCENARIO_GRID)
+    @pytest.mark.parametrize("mode", ["scalar", "batched"])
+    def test_calendar_summaries_are_bit_identical_to_heap(self, name, overrides, mode):
+        spec = get_scenario(name)
+        if overrides:
+            spec = spec.with_overrides(**overrides)
+        spec = spec.with_overrides(dispatch_mode=mode)
+        for seed in (0, 1):
+            heap = spec.run(seed=seed)
+            calendar = _calendarized(spec).run(seed=seed)
+            for field in _SUMMARY_FIELDS:
+                assert getattr(calendar, field) == getattr(heap, field), (field, seed)
+
+    def test_heap_is_the_default_everywhere(self):
+        assert SimulationConfig().engine == "heap"
+        assert ScenarioSpec(name="x").engine == "heap"
+
+    def test_unknown_engine_rejected(self):
+        spec = get_scenario("smoke").with_overrides(sim_overrides={"engine": "ringbuffer"})
+        with pytest.raises(ValueError, match="engine"):
+            spec.build(seed=0)
+
+    def test_spec_engine_field_flows_into_config(self):
+        spec = get_scenario("smoke").with_overrides(engine="calendar")
+        simulation = spec.build(seed=0)
+        assert simulation.config.engine == "calendar"
+        assert simulation.calendar_mode
+        assert isinstance(simulation.engine, CalendarEngine)

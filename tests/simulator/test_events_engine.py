@@ -51,6 +51,23 @@ class TestEventQueue:
         assert queue.peek_time() == 5.0
         assert len(queue) == 1
 
+    def test_peek_time_detaches_discarded_cancelled_entries(self):
+        """Regression: peek_time() drops cancelled heads from the heap, so it
+        must also detach them exactly as pop() does — a handle kept around
+        (flag manually reset, then re-cancelled) would otherwise decrement
+        the live count for an entry that already left the heap."""
+        queue = EventQueue()
+        head = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        head.cancel()
+        assert queue.peek_time() == 2.0
+        assert head._queue is None  # discarded => detached
+        head.cancelled = False  # hostile flag reset
+        head.cancel()  # must be a no-op now
+        assert len(queue) == 1
+        assert queue.pop() is not None
+        assert queue.pop() is None
+
     def test_cancel_after_execution_is_a_noop(self):
         """Cancelling an already-executed handle must not corrupt the live
         count (the seed dataclass implementation tolerated this too)."""
