@@ -133,8 +133,8 @@ def _run_calendar_macro(rows, span_s, run_cap_s):
     engine.set_run_cap(KIND_COLUMNAR_DELIVERY, run_cap_s)
     drained = [0]
 
-    def bulk(times, handles):
-        drained[0] += len(handles)
+    def bulk(entries, start, stop):
+        drained[0] += stop - start
 
     engine.set_bulk_handler(KIND_COLUMNAR_DELIVERY, bulk)
     payloads = list(range(rows))

@@ -58,8 +58,17 @@ def main(argv=None) -> int:
         "functions (implies --serial: pool workers are separate processes "
         "the profiler cannot see into)",
     )
+    parser.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="PATH",
+        help="dump the raw pstats file to PATH for offline analysis "
+        "(flamegraphs, snakeviz, before/after diffs); implies --profile",
+    )
     parser.add_argument("--list", action="store_true", help="list registered scenarios and exit")
     args = parser.parse_args(argv)
+    if args.profile_out:
+        args.profile = True
 
     if args.list or not args.scenarios:
         print("registered scenarios:")
@@ -108,6 +117,11 @@ def main(argv=None) -> int:
         stats = pstats.Stats(profiler)
         stats.sort_stats("cumulative")
         stats.print_stats(20)
+        if args.profile_out:
+            out = pathlib.Path(args.profile_out)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            stats.dump_stats(str(out))
+            print(f"raw pstats written to {out}")
     total_events = sum(r.summary.total_requests for r in result.records)
     print(
         f"\n{len(result.records)} runs ({len(names)} scenarios x {len(seeds)} seeds), "

@@ -166,6 +166,11 @@ class ScenarioSpec:
     #: heap behind the parity goldens) or ``"calendar"`` (opt-in columnar
     #: calendar queue with macro-dispatch — same event order, bulk-drained)
     engine: str = "heap"
+    #: request-lifecycle representation: ``"object"`` (default; per-request
+    #: ``Request``/``IntermediateQuery`` objects) or ``"columnar"`` (opt-in
+    #: struct-of-arrays ``RequestTable`` hot path; requires
+    #: ``dispatch_mode="batched"`` and ``engine="calendar"``)
+    request_path: str = "object"
     #: None selects the system default (Loki: opportunistic rerouting,
     #: baselines: no early dropping), matching the paper's comparisons
     drop_policy: Optional[str] = None
@@ -245,6 +250,7 @@ class ScenarioSpec:
             content_mode=self.content_mode,
             dispatch_mode=self.dispatch_mode,
             engine=self.engine,
+            request_path=self.request_path,
             drop_policy=self.resolved_drop_policy(),
         )
         # sim_overrides wins over spec-level fields (e.g. dispatch_mode,

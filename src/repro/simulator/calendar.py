@@ -124,8 +124,10 @@ class CalendarQueue:
         "_obj",
         "_p1",
         "_p2",
+        "_p3",
         "_buckets",
         "_bucket_heap",
+        "_unsorted",
         "_cur",
         "_entries",
         "_pos",
@@ -152,14 +154,23 @@ class CalendarQueue:
         self._alive = bytearray(self._cap)
         #: object rows: the Event instance; columnar rows: None
         self._obj: List[object] = [None] * self._cap
-        #: columnar payload columns (delivery rows: query, logical target id)
+        #: columnar payload columns (object-query delivery rows: query,
+        #: logical target id; columnar-request rows: request id, logical
+        #: target id, accumulated path accuracy)
         self._p1: List[object] = [None] * self._cap
         self._p2: List[object] = [None] * self._cap
-        #: absolute bucket index -> list of (time, seq, handle, kind) tuples,
-        #: unsorted until the bucket is activated for draining
+        self._p3: List[object] = [None] * self._cap
+        #: absolute bucket index -> list of (time, seq, handle, kind) tuples.
+        #: Placement keeps each list (time, seq)-sorted whenever the input
+        #: allows it cheaply (bulk loads are argsorted by time before
+        #: placement, scalar pushes compare against the segment tail);
+        #: buckets that lose sortedness land in ``_unsorted`` and pay one
+        #: Timsort at activation — everything else activates sort-free.
         self._buckets: Dict[int, List[Tuple[float, int, int, int]]] = {}
         #: min-heap of pending bucket indices (pushed once per bucket creation)
         self._bucket_heap: List[int] = []
+        #: bucket indices whose entry list is not known to be sorted
+        self._unsorted: set = set()
         #: index of the bucket currently being drained (-1 before the first)
         self._cur = -1
         #: the current bucket's entries sorted by (time, seq), plus a cursor.
@@ -197,6 +208,7 @@ class CalendarQueue:
         self._obj.extend([None] * pad)
         self._p1.extend([None] * pad)
         self._p2.extend([None] * pad)
+        self._p3.extend([None] * pad)
         self._cap = cap
 
     def reserve(self, rows: int) -> None:
@@ -226,7 +238,10 @@ class CalendarQueue:
             self._buckets[bucket] = [(time_s, seq, handle, kind)]
             heappush(self._bucket_heap, bucket)
         else:
-            existing.append((time_s, seq, handle, kind))
+            entry = (time_s, seq, handle, kind)
+            if entry < existing[-1]:
+                self._unsorted.add(bucket)
+            existing.append(entry)
 
     def _place_bulk(self, entries, bucket_ids: List[int]) -> None:
         """Drop pre-built ``(time, seq, handle, kind)`` entries into buckets.
@@ -238,12 +253,15 @@ class CalendarQueue:
         """
         bucket_map = self._buckets
         bucket_heap = self._bucket_heap
+        unsorted = self._unsorted
         cur = self._cur
         spill = self._spill
         last_bucket = None
         last_segment: Optional[list] = None
         for bucket, entry in zip(bucket_ids, entries):
             if bucket == last_bucket:
+                if entry < last_segment[-1]:
+                    unsorted.add(bucket)
                 last_segment.append(entry)
                 continue
             if bucket <= cur:
@@ -253,18 +271,24 @@ class CalendarQueue:
             if segment is None:
                 segment = bucket_map[bucket] = []
                 heappush(bucket_heap, bucket)
+            elif entry < segment[-1]:
+                unsorted.add(bucket)
             segment.append(entry)
             last_bucket = bucket
             last_segment = segment
 
     def _place_bulk_grouped(self, entries: list, sorted_buckets: np.ndarray) -> None:
-        """Place a bucket-sorted entry list with one dict probe per bucket.
+        """Place a (time, seq)-sorted entry list with one dict probe per bucket.
 
-        ``entries`` must already be ordered by target bucket (``sorted_buckets``
-        is the parallel index array); the whole segment of a bucket is then
-        appended as one C-level list slice + extend.  Callers sort with one
-        vectorized argsort, which beats the per-row loop of :meth:`_place_bulk`
-        once loads are thousands of rows.
+        ``entries`` must already be ordered by ``(time, seq)``
+        (``sorted_buckets`` is the parallel index array, nondecreasing since
+        the bucket index is monotone in time); the whole segment of a bucket
+        is then appended as one C-level list slice + extend.  Callers sort
+        with one vectorized argsort, which beats the per-row loop of
+        :meth:`_place_bulk` once loads are thousands of rows — and because
+        each segment arrives internally sorted, a fresh bucket never needs
+        the activation-time sort (an extend onto an existing list only
+        marks the bucket unsorted when the boundary actually inverts).
         """
         uniq, starts = np.unique(sorted_buckets, return_index=True)
         bounds = starts.tolist()
@@ -284,6 +308,8 @@ class CalendarQueue:
                 bucket_map[bucket] = segment
                 heappush(bucket_heap, bucket)
             else:
+                if segment[0] < existing[-1]:
+                    self._unsorted.add(bucket)
                 existing.extend(segment)
 
     # -- EventQueue-compatible API ----------------------------------------------
@@ -350,15 +376,17 @@ class CalendarQueue:
         if m > _PRESORT_THRESHOLD:
             if not np.any(times[1:] < times[:-1]):
                 # Bulk loads are almost always time-sorted already (whole-trace
-                # arrival arrays): buckets are then nondecreasing and the
-                # argsort plus three fancy gathers can be skipped — the zip
-                # runs over plain ranges instead of permuted index arrays.
+                # arrival arrays): buckets are then nondecreasing and no sort
+                # is needed — the zip runs over plain ranges.
                 entries = list(
                     zip(times.tolist(), range(seq0, seq0 + m), range(start, start + m), codes)
                 )
                 self._place_bulk_grouped(entries, bucket_arr)
             else:
-                order = np.argsort(bucket_arr, kind="stable")
+                # Stable argsort by *time* (not bucket): equal times keep
+                # push order, so this is exactly (time, seq) order and every
+                # placed bucket segment is already activation-sorted.
+                order = np.argsort(times, kind="stable")
                 entries = list(
                     zip(
                         times[order].tolist(),
@@ -373,7 +401,7 @@ class CalendarQueue:
             self._place_bulk(entries, bucket_arr.tolist())
 
     # -- columnar API ------------------------------------------------------------
-    def push_columnar(self, times, kind: int, payloads1, payloads2=None) -> np.ndarray:
+    def push_columnar(self, times, kind: int, payloads1, payloads2=None, payloads3=None) -> np.ndarray:
         """Bulk-load object-free rows: one per ``times[i]`` with payload columns.
 
         Returns the rows' handles (usable with :meth:`cancel_rows`).  The
@@ -401,17 +429,22 @@ class CalendarQueue:
             self._p1[start : start + m] = payloads1 if isinstance(payloads1, list) else list(payloads1)
         if payloads2 is not None:
             self._p2[start : start + m] = payloads2 if isinstance(payloads2, list) else list(payloads2)
+        if payloads3 is not None:
+            self._p3[start : start + m] = payloads3 if isinstance(payloads3, list) else list(payloads3)
         self._live += m
         bucket_arr = (times / self._width).astype(np.int64)
         if m > _PRESORT_THRESHOLD:
             if not np.any(times[1:] < times[:-1]):
-                # Sorted input (the common case): skip the argsort and gathers.
+                # Sorted input: no sort at all, zip over plain ranges.
                 entries = list(
                     zip(times.tolist(), range(seq0, seq0 + m), range(start, start + m), repeat(kind))
                 )
                 self._place_bulk_grouped(entries, bucket_arr)
             else:
-                order = np.argsort(bucket_arr, kind="stable")
+                # Stable argsort by *time*, same as `extend`: the permuted
+                # rows are in (time, seq) order, so bucket segments land
+                # pre-sorted and skip the activation-time sort.
+                order = np.argsort(times, kind="stable")
                 entries = list(
                     zip(
                         times[order].tolist(),
@@ -445,7 +478,13 @@ class CalendarQueue:
         return count
 
     def take_payloads(self, handles: List[int]) -> Tuple[List[object], List[object]]:
-        """Gather (and release) the payload columns of claimed columnar rows."""
+        """Gather (and release) the first two payload columns of claimed rows.
+
+        Convenience for coarse consumers (benchmarks, tests).  The
+        simulation's bulk handlers skip this re-gather entirely: they read
+        the payload columns by handle straight from the claimed entry tuples
+        (see :meth:`CalendarEngine.set_bulk_handler`).
+        """
         p1 = self._p1
         p2 = self._p2
         out1 = [p1[h] for h in handles]
@@ -467,6 +506,7 @@ class CalendarQueue:
         self._obj[h] = None
         self._p1[h] = None
         self._p2[h] = None
+        self._p3[h] = None
 
     def _activate_next_bucket(self) -> bool:
         bucket_heap = self._bucket_heap
@@ -477,9 +517,12 @@ class CalendarQueue:
             self._cur = bucket
             if not entries:
                 continue
-            # Bursts are appended nearly time-sorted, so this Timsort is
-            # close to linear; (time, seq) tuples need no tie-break key.
-            entries.sort()
+            # Bulk placement delivers segments pre-sorted, so most buckets
+            # activate sort-free; only buckets flagged by an out-of-order
+            # append pay the Timsort ((time, seq) tuples, no tie-break key).
+            if bucket in self._unsorted:
+                self._unsorted.discard(bucket)
+                entries.sort()
             self._entries = entries
             self._pos = 0
             return True
@@ -538,100 +581,125 @@ class CalendarQueue:
             self._pos += 1
         self._live -= 1
 
-    def _take_run(self, kind: int, tmax: float, limit) -> Tuple[List[float], List[int]]:
-        """Claim the maximal run of live same-``kind`` entries from the front.
+    def _take_run(self, kind: int, tmax: float, limit, head=None):
+        """Claim a run of live same-``kind`` entries from the front.
 
-        The run is a *contiguous prefix* of the global ``(time, seq)`` order:
-        it stops at the first live entry of a different kind, the first time
-        past ``tmax``, or ``limit`` entries — it never skips over anything.
+        Returns ``(entries, start, stop)`` — a list of ``(time, seq, handle,
+        kind)`` tuples plus the claimed bounds — or ``None`` when nothing at
+        the head is claimable.  The run is a *contiguous prefix* of the
+        global ``(time, seq)`` order: it stops at the first live entry of a
+        different kind, the first time past ``tmax``, ``limit`` entries, an
+        entry that sorts after the spill head, or a dead entry — it never
+        skips over anything.
+
+        The common case hands out the live current-bucket list with bounds
+        and **no copying**: bucket entries are immutable tuples, pushes that
+        would land inside the drained bucket go to the spill heap, and the
+        cursor advances past the claimed slice, so the handed-out window is
+        never mutated while a handler reads it.  A spill-head straggler is
+        claimed as a one-entry mini-run; blockers (dead rows, spill
+        interleavings) terminate the run and are resolved by the engine's
+        next peek, which starts a fresh run — same execution order as
+        claiming through them, just split across handler calls.
+
         Claimed entries are removed, detached (object rows) and live-count
-        settled; the returned handles are in execution order.
+        settled; payload columns stay in place for the handler to read by
+        handle (and clear).
+
+        ``head`` lets a caller that just called :meth:`_peek_settled` (and
+        has not mutated the queue since) hand the settled head over instead
+        of paying a second scan.
         """
-        times: List[float] = []
-        handles: List[int] = []
-        append_time = times.append
-        append_handle = handles.append
-        is_columnar = kind in self.columnar_kinds
-        obj_col = self._obj
-        alive = self._alive
-        spill = self._spill
-        while len(handles) < limit:
+        if head is None:
             head = self._peek_settled()
-            if head is None:
-                break
-            t0, s0, h0, from_spill = head
-            if t0 > tmax or self._kinds[h0] != kind:
-                break
-            if from_spill:
-                # Mid-run-scheduled stragglers: claim one at a time (rare).
-                heappop(spill)
+        if head is None:
+            return None
+        t0, s0, h0, from_spill = head
+        if t0 > tmax or self._kinds[h0] != kind:
+            return None
+        is_columnar = kind in self.columnar_kinds
+        alive = self._alive
+        if from_spill:
+            # Spill stragglers: gather the consecutive claimable prefix of
+            # the spill heap into a materialized mini-run (small pushes below
+            # the presort threshold land here, so runs of several spill rows
+            # are common even though mid-run stragglers are rare).
+            entries = self._entries
+            if entries is not None:
+                bt, bs = entries[self._pos][0], entries[self._pos][1]
+            else:
+                bt = None
+            kinds = self._kinds
+            obj_col = self._obj
+            run = []
+            while len(run) < limit:
+                heappop(self._spill)
                 self._live -= 1
                 if not is_columnar:
                     obj_col[h0]._queue = None
-                else:
-                    alive[h0] = 0
-                append_time(t0)
-                append_handle(h0)
-                continue
-            # Walk the sorted bucket: plain tuple reads, no NumPy per entry.
-            entries = self._entries
-            pos = self._pos
-            n = len(entries)
-            if spill:
-                bound_t, bound_s, _ = spill[0]
+                alive[h0] = 0
+                run.append((t0, s0, h0, kind))
+                spill = self._spill
+                if not spill:
+                    break
+                t0, s0, h0 = spill[0]
+                if t0 > tmax or not alive[h0] or kinds[h0] != kind:
+                    break
+                if bt is not None and (t0 > bt or (t0 == bt and s0 > bs)):
+                    break
+            return run, 0, len(run)
+        # Walk the sorted bucket: plain tuple reads, no NumPy per entry.
+        entries = self._entries
+        start = pos = self._pos
+        n = len(entries)
+        spill = self._spill
+        if spill:
+            bound_t, bound_s, _ = spill[0]
+        else:
+            bound_t = None
+        obj_col = self._obj
+        stop_at = limit if limit < n - start else n - start
+        end = start + stop_at
+        while pos < end:
+            t, s, h, k = entries[pos]
+            if t > tmax or k != kind:
+                break
+            if bound_t is not None and (t > bound_t or (t == bound_t and s > bound_s)):
+                # The next entry sorts after the spill head: stop here so
+                # the claimed run stays a contiguous prefix of the global
+                # order (the engine picks the spill entry up next).
+                break
+            if is_columnar:
+                if not alive[h]:
+                    break  # dead row: next peek releases it, run splits here
+                alive[h] = 0
             else:
-                bound_t = None
-            claimed = 0
-            while pos < n:
-                t, s, h, k = entries[pos]
-                if t > tmax or k != kind:
+                event = obj_col[h]
+                if event.cancelled:
                     break
-                if bound_t is not None and (t > bound_t or (t == bound_t and s > bound_s)):
-                    # The next entry sorts after the spill head: stop here so
-                    # the claimed run stays a contiguous prefix of the global
-                    # order (the outer loop picks the spill entry up next).
-                    break
-                pos += 1
-                if is_columnar:
-                    if not alive[h]:
-                        self._release(h)
-                        continue
-                    alive[h] = 0
-                else:
-                    event = obj_col[h]
-                    if event.cancelled:
-                        self._release(h)
-                        continue
-                    event._queue = None
-                    alive[h] = 0
-                claimed += 1
-                append_time(t)
-                append_handle(h)
-                if len(handles) >= limit:
-                    break
-            self._pos = pos
-            self._live -= claimed
-            if pos < n and len(handles) < limit:
-                t_next, _, _, k_next = entries[pos]
-                if t_next > tmax or k_next != kind:
-                    break  # genuine run boundary inside this bucket
-                # blocked only by the spill head — let the outer loop claim it
-        return times, handles
+                event._queue = None
+                alive[h] = 0
+            pos += 1
+        self._pos = pos
+        self._live -= pos - start
+        # The first entry is the settled head (live, in range, right kind and
+        # ahead of the spill), so a bucket run always claims at least one.
+        return entries, start, pos
 
-    def _requeue(self, times: List[float], handles: List[int]) -> None:
+    def _requeue(self, entries, start: int, stop: int) -> None:
         """Put claimed-but-unexecuted object entries back (error recovery)."""
         spill = self._spill
         obj_col = self._obj
-        seqs = self._seqs
         alive = self._alive
-        for t, h in zip(times, handles):
+        for i in range(start, stop):
+            t, s, h, _ = entries[i]
             event = obj_col[h]
             if event is None or event.cancelled:
                 continue
             event._queue = self
             alive[h] = 1
             self._live += 1
-            heappush(spill, (t, int(seqs[h]), h))
+            heappush(spill, (t, s, h))
 
     def pop(self) -> Optional[Event]:
         """Pop the next live *object* event (columnar rows drain via the engine)."""
@@ -688,11 +756,13 @@ class CalendarEngine:
         self.events_processed: int = 0
         #: kind code -> reaction-window span (seconds) allowing run-draining
         self._caps: Dict[int, float] = {}
-        #: kind code -> bulk handler fn(times, handles)
-        self._bulk: Dict[int, Callable[[List[float], List[int]], None]] = {}
-        #: kind code -> scalar handler fn(time_s, payload1, payload2)
+        #: kind code -> bulk handler fn(entries, start, stop): the claimed
+        #: run's (time, seq, handle, kind) tuples, consumed directly — the
+        #: handler reads payload columns by handle, no re-gather pass
+        self._bulk: Dict[int, Callable[[list, int, int], None]] = {}
+        #: kind code -> scalar handler fn(time_s, payload1, payload2, payload3)
         #: for columnar rows reached one at a time (``step()``)
-        self._scalar: Dict[int, Callable[[float, object, object], None]] = {}
+        self._scalar: Dict[int, Callable[[float, object, object, object], None]] = {}
 
     # -- handler registry ----------------------------------------------------
     def set_run_cap(self, kind: int, span_s: float) -> None:
@@ -700,6 +770,13 @@ class CalendarEngine:
         self._caps[kind] = float(span_s)
 
     def set_bulk_handler(self, kind: int, handler) -> None:
+        """Register ``handler(entries, start, stop)`` for macro-runs of ``kind``.
+
+        ``entries[start:stop]`` are the claimed ``(time, seq, handle, kind)``
+        tuples in execution order — usually a zero-copy window into the live
+        bucket list, so handlers must not mutate it.  Payloads are read (and
+        cleared) by handle from the queue's ``_p1``/``_p2``/``_p3`` columns.
+        """
         self._bulk[kind] = handler
 
     def set_scalar_handler(self, kind: int, handler) -> None:
@@ -732,9 +809,9 @@ class CalendarEngine:
         """Bulk-load many future events in one columnar append."""
         self.queue.extend(events)
 
-    def push_columnar(self, times, kind: int, payloads1, payloads2=None) -> np.ndarray:
+    def push_columnar(self, times, kind: int, payloads1, payloads2=None, payloads3=None) -> np.ndarray:
         """Bulk-load object-free rows (see :meth:`CalendarQueue.push_columnar`)."""
-        return self.queue.push_columnar(times, kind, payloads1, payloads2)
+        return self.queue.push_columnar(times, kind, payloads1, payloads2, payloads3)
 
     def reserve(self, rows: int) -> None:
         """Pre-grow queue storage for ``rows`` more rows (performance hint)."""
@@ -784,22 +861,27 @@ class CalendarEngine:
                     else:
                         payload1 = queue._p1[h]
                         payload2 = queue._p2[h]
+                        payload3 = queue._p3[h]
                         queue._release(h)
-                        self._scalar[kind](time_s, payload1, payload2)
+                        self._scalar[kind](time_s, payload1, payload2, payload3)
                     continue
                 tmax = time_s + span
                 if tmax > horizon:
                     tmax = horizon
-                times, handles = queue._take_run(kind, tmax, budget - processed)
-                if not handles:  # pragma: no cover - head was live a moment ago
+                # The head just peeked is handed straight to _take_run —
+                # nothing touched the queue in between, so the second settle
+                # scan would only rediscover it.
+                run = queue._take_run(kind, tmax, budget - processed, head)
+                if run is None:  # pragma: no cover - head was live a moment ago
                     break
+                entries, start, stop = run
                 handler = bulk.get(kind)
                 if handler is not None:
-                    processed += len(handles)
-                    handler(times, handles)
-                    self.now_s = times[-1]
+                    processed += stop - start
+                    handler(entries, start, stop)
+                    self.now_s = entries[stop - 1][0]
                 else:
-                    processed += self._run_object_entries(times, handles)
+                    processed += self._run_object_entries(entries, start, stop)
             if processed >= budget:
                 budget_exhausted = True
         finally:
@@ -808,7 +890,7 @@ class CalendarEngine:
             self.now_s = until_s
         return self.now_s
 
-    def _run_object_entries(self, times: List[float], handles: List[int]) -> int:
+    def _run_object_entries(self, entries, start: int, stop: int) -> int:
         """Execute a claimed run of event objects; returns how many ran.
 
         Events cancelled *during* the run (by an earlier event of the same
@@ -819,12 +901,10 @@ class CalendarEngine:
         queue = self.queue
         obj_col = queue._obj
         executed = 0
-        i = 0
-        n = len(handles)
+        i = start
         try:
-            while i < n:
-                h = handles[i]
-                t = times[i]
+            while i < stop:
+                t, _, h, _ = entries[i]
                 i += 1
                 event = obj_col[h]
                 if event.cancelled:
@@ -835,7 +915,7 @@ class CalendarEngine:
                 queue._release(h)
                 event.run()
         except BaseException:
-            queue._requeue(times[i:], handles[i:])
+            queue._requeue(entries, i, stop)
             # The caller's `processed +=` never runs when a handler raises:
             # credit the executed prefix here so events_processed matches what
             # a heap run (which counts before each run()) would report.
@@ -861,7 +941,8 @@ class CalendarEngine:
             kind = int(queue._kinds[h])
             payload1 = queue._p1[h]
             payload2 = queue._p2[h]
+            payload3 = queue._p3[h]
             queue._release(h)
-            self._scalar[kind](time_s, payload1, payload2)
+            self._scalar[kind](time_s, payload1, payload2, payload3)
         self.events_processed += 1
         return True

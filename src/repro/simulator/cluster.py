@@ -188,7 +188,12 @@ class Cluster:
             # once per routing draw under jsq; keep in sync with the
             # SimWorker properties of the same names.
             batch_event = worker._batch_event
-            backlog = len(worker.queue) + (len(batch_event.batch) if batch_event else 0)
+            if worker._columnar:
+                backlog = len(worker._cq_req) - worker._cq_head
+                if batch_event is not None:
+                    backlog += len(batch_event.batch[0])
+            else:
+                backlog = len(worker.queue) + (len(batch_event.batch) if batch_event else 0)
             rate = worker.service_rate_qps
             pending_load_s = worker.available_at_s - now_s
             if pending_load_s > 1e-12:
@@ -224,7 +229,7 @@ class Cluster:
                     physical_id=worker.physical_id,
                     task=assignment.task,
                     variant_name=assignment.variant.name,
-                    queue_depth=len(worker.queue),
+                    queue_depth=worker.queue_length,
                     in_flight=worker.in_flight,
                     service_rate_qps=worker.service_rate_qps,
                     recent_completions=max(0, recent),

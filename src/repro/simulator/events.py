@@ -183,7 +183,12 @@ class RoutedDeliveryEvent(Event):
 
 
 class BatchCompleteEvent(Event):
-    """A worker finishes executing one batch."""
+    """A worker finishes executing one batch.
+
+    ``batch`` is a list of :class:`IntermediateQuery` on the object request
+    path, or — under ``request_path="columnar"`` — the worker's
+    ``(request_ids, path_accuracies, arrival_times)`` list triple.
+    """
 
     __slots__ = ("worker", "batch")
 

@@ -23,6 +23,8 @@ from __future__ import annotations
 from itertools import repeat
 from typing import Dict, Optional, TYPE_CHECKING
 
+import numpy as np
+
 from repro.simulator.calendar import KIND_COLUMNAR_DELIVERY
 from repro.simulator.events import RoutedDeliveryEvent
 from repro.simulator.query import IntermediateQuery, Request
@@ -120,6 +122,9 @@ class Frontend:
         sim.metrics.record_arrivals(times)
 
         root_task = sim.pipeline.root
+        if getattr(sim, "columnar_requests", False):
+            self._submit_burst_columnar(times, count, root_task)
+            return
         times_list = times.tolist()
 
         routing = sim.routing_plan
@@ -162,6 +167,51 @@ class Frontend:
             map(RoutedDeliveryEvent, delivery_times.tolist(), repeat(sim), targets, queries)
         )
         sim.engine.preload(deliveries)
+
+    def _submit_burst_columnar(self, times, count: int, root_task: str) -> None:
+        """Object-free burst ingestion for ``request_path="columnar"``.
+
+        The whole chunk becomes :class:`RequestTable` rows in a handful of
+        vectorized column stores — no ``Request`` or ``IntermediateQuery``
+        objects exist — and its deliveries enter the calendar as
+        ``(request id, logical target, path accuracy)`` payload columns.
+        Request ids are the dense table row range ``[req0, req0 + count)``.
+        """
+        sim = self.sim
+        req0 = sim.request_table.add_requests(times, self.slo_ms)
+        self._next_request_id = req0 + count
+        routing = sim.routing_plan
+        drawn = (
+            routing.frontend_table.choose_batch_indices(
+                root_task,
+                sim.rng,
+                count,
+                method="alias",
+                chunk=sim.config.batch_route_chunk,
+            )
+            if routing is not None
+            else None
+        )
+        if drawn is None:
+            self.rejected_no_plan += count
+            self._tele_rejected.value += count
+            sim.notify_drop_ids(
+                list(range(req0, req0 + count)), reason="no frontend route available"
+            )
+            return
+        entries, indices = drawn
+        # One C-level gather over the (tiny) route-entry table instead of a
+        # per-row Python list-index comprehension (ids are strings, so this
+        # is an object-pointer gather).
+        worker_ids = np.array([entry.worker_id for entry in entries], dtype=object)
+        delays = sim.network.sample_delays_s(sim.rng, count)
+        sim.engine.push_columnar(
+            times + delays,
+            KIND_COLUMNAR_DELIVERY,
+            list(range(req0, req0 + count)),
+            worker_ids[indices].tolist(),
+            [1.0] * count,
+        )
 
     def _materialize_chunk(self, times_list, root_task):
         """Requests plus their root queries for a whole arrival chunk.

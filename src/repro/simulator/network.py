@@ -64,3 +64,18 @@ class NetworkModel:
         delays = self.latency_ms + rng.uniform(-self.jitter_ms, self.jitter_ms, size=size)
         np.maximum(delays, 0.0, out=delays)
         return delays / 1000.0
+
+    def delayed_times_s(self, base_s: float, rng: Optional[np.random.Generator], size: int) -> np.ndarray:
+        """``base_s`` plus ``size`` hop latencies, as one array.
+
+        Identical float results to ``base_s + sample_delays_s(rng, size)``
+        (scalar-plus-float64 addition is the same IEEE op either way), but
+        the jitter-free path folds the scalar sum before the fill instead of
+        broadcasting an addition over the freshly-filled array — one array
+        op instead of two on the per-batch sink path.
+        """
+        if self.jitter_ms <= 0 or rng is None:
+            return np.full(size, base_s + self.latency_ms / 1000.0)
+        delays = self.latency_ms + rng.uniform(-self.jitter_ms, self.jitter_ms, size=size)
+        np.maximum(delays, 0.0, out=delays)
+        return base_s + delays / 1000.0

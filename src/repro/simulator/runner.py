@@ -42,7 +42,14 @@ from repro.simulator.events import (
 from repro.simulator.frontend import Frontend
 from repro.simulator.metrics import MetricsCollector, SimulationSummary
 from repro.simulator.network import NetworkModel
-from repro.simulator.query import IntermediateQuery, Request, RequestStatus
+from repro.simulator.query import (
+    STATUS_DROPPED,
+    STATUS_IN_FLIGHT,
+    IntermediateQuery,
+    Request,
+    RequestStatus,
+    RequestTable,
+)
 from repro.simulator.worker import SimWorker
 from repro.telemetry import TelemetryRegistry
 from repro.workloads.arrivals import ArrivalProcess, make_arrival_process
@@ -100,6 +107,14 @@ class SimulationConfig:
     #: suite pins identical (time, seq) execution — but bulk-drained, and in
     #: batched dispatch mode deliveries flow as object-free columnar rows.
     engine: str = "heap"
+    #: request-lifecycle representation.  ``"object"`` (default) allocates one
+    #: :class:`Request`/:class:`IntermediateQuery` pair per query — the
+    #: RNG-stream-identical path behind the parity goldens.  ``"columnar"``
+    #: (opt-in; requires ``dispatch_mode="batched"`` and ``engine="calendar"``)
+    #: keeps the whole request lifecycle in a NumPy :class:`RequestTable` and
+    #: flows queries as (request id, target, accuracy) payload columns —
+    #: object-free end to end, statistically equivalent to the object path.
+    request_path: str = "object"
     drop_policy: str = "opportunistic_rerouting"
     content_mode: str = "poisson"
     network_latency_ms: float = 2.0
@@ -146,6 +161,20 @@ class ServingSimulation:
         #: columnar calendar-queue event core with macro-dispatch (opt-in);
         #: the heap engine stays the RNG-stream-identical default
         self.calendar_mode = self.config.engine == "calendar"
+        if self.config.request_path not in ("object", "columnar"):
+            raise ValueError(
+                f"unknown request_path {self.config.request_path!r}; expected 'object' or 'columnar'"
+            )
+        #: object-free request lifecycle (opt-in): all request bookkeeping in
+        #: a RequestTable, queries as integer-id payload columns.  Requires
+        #: the batched dispatch mode (queries only exist in bulk) and the
+        #: calendar engine (object-free rows need the columnar event core).
+        self.columnar_requests = self.config.request_path == "columnar"
+        if self.columnar_requests and (not self.batched_dispatch or not self.calendar_mode):
+            raise ValueError(
+                "request_path='columnar' requires dispatch_mode='batched' and engine='calendar'"
+            )
+        self.request_table = RequestTable() if self.columnar_requests else None
         self.engine = CalendarEngine() if self.calendar_mode else SimulationEngine()
         self.rng = np.random.default_rng(self.config.seed)
         self.network = NetworkModel(self.config.network_latency_ms, self.config.network_jitter_ms)
@@ -349,8 +378,12 @@ class ServingSimulation:
         the invalidation argument).
         """
         engine = self.engine
-        engine.set_bulk_handler(KIND_COLUMNAR_DELIVERY, self._run_delivery_rows)
-        engine.set_scalar_handler(KIND_COLUMNAR_DELIVERY, self._deliver_row)
+        if self.columnar_requests:
+            engine.set_bulk_handler(KIND_COLUMNAR_DELIVERY, self._run_delivery_rows_table)
+            engine.set_scalar_handler(KIND_COLUMNAR_DELIVERY, self._deliver_row_table)
+        else:
+            engine.set_bulk_handler(KIND_COLUMNAR_DELIVERY, self._run_delivery_rows)
+            engine.set_scalar_handler(KIND_COLUMNAR_DELIVERY, self._deliver_row)
         self._refresh_run_caps()
 
     def _refresh_run_caps(self) -> None:
@@ -426,6 +459,16 @@ class ServingSimulation:
         )
         if math.isnan(floor_ms) or floor_ms == math.inf:
             return None
+        if self.columnar_requests:
+            return (
+                worker,
+                worker._cq_req.append,
+                worker._cq_acc.append,
+                worker._cq_arr.append,
+                floor_ms,
+                assignment.task,
+                assignment,
+            )
         return (worker, worker.queue.append, floor_ms, assignment.task, assignment)
 
     def _deliver_query_slow(self, worker_id: str, query: IntermediateQuery) -> int:
@@ -443,13 +486,13 @@ class ServingSimulation:
         worker.enqueue(query)
         return 1
 
-    def _deliver_row(self, time_s: float, query, worker_id) -> None:
+    def _deliver_row(self, time_s: float, query, worker_id, _accuracy=None) -> None:
         """Scalar handler for a single columnar delivery row (``engine.step``)."""
         forwarded = self._deliver_query_slow(worker_id, query)
         self.forwarded_queries += forwarded
         self._tele_forwarded.value += forwarded
 
-    def _run_delivery_rows(self, times, handles) -> None:
+    def _run_delivery_rows(self, entries, start: int, stop: int) -> None:
         """Bulk handler draining one claimed run of columnar delivery rows.
 
         The hot path inlines ``RoutedDeliveryEvent.run`` + ``SimWorker.enqueue``
@@ -458,16 +501,27 @@ class ServingSimulation:
         per plan epoch, then per row it is one assignment-identity check, one
         deadline subtraction, one deque append and the idle-worker batch
         check.  Rows that cannot take the fast path fall back to the exact
-        scalar sequence.  Telemetry counters are flushed once per run.
+        scalar sequence.  Payloads are read straight off the claimed entry
+        tuples' handles — no gather pass, no intermediate per-run lists.
+        Telemetry counters are flushed once per run.
         """
         engine = self.engine
-        queries, targets = engine.queue.take_payloads(handles)
+        queue = engine.queue
+        p1 = queue._p1
+        p2 = queue._p2
         contexts = self._delivery_contexts
         build = self._build_delivery_context
         slow = self._deliver_query_slow
         task_arrivals = self.task_arrivals
         forwarded = 0
-        for t, query, worker_id in zip(times, queries, targets):
+        for i in range(start, stop):
+            entry = entries[i]
+            t = entry[0]
+            h = entry[2]
+            query = p1[h]
+            worker_id = p2[h]
+            p1[h] = None
+            p2[h] = None
             ctx = contexts.get(worker_id, _UNBUILT)
             if ctx is _UNBUILT:
                 ctx = contexts[worker_id] = build(worker_id)
@@ -499,7 +553,104 @@ class ServingSimulation:
                 # store is deferred to the batch-start (and slow) paths.
                 engine.now_s = t
                 worker._maybe_start_batch()
-        engine.now_s = times[-1]
+        engine.now_s = entries[stop - 1][0]
+        self.forwarded_queries += forwarded
+        self._tele_forwarded.value += forwarded
+
+    # ----------------------------------------- columnar request path (opt-in) --
+    def _deliver_columnar_slow(self, worker_id: str, req: int, accuracy: float) -> int:
+        """Columnar counterpart of :meth:`_deliver_query_slow`.
+
+        The caller must have stored the row's timestamp into ``engine.now_s``
+        — drop bookkeeping and the arrival-time policy decision read it.
+        """
+        worker = self.cluster.logical_map.get(worker_id)
+        if worker is None:
+            self.notify_drop_id(req, reason=f"logical worker {worker_id} not hosted")
+            return 0
+        worker._enqueue_columnar(req, accuracy)
+        return 1
+
+    def _deliver_row_table(self, time_s: float, req, worker_id, accuracy) -> None:
+        """Scalar handler for one columnar-request delivery row (``engine.step``)."""
+        forwarded = self._deliver_columnar_slow(worker_id, req, accuracy)
+        self.forwarded_queries += forwarded
+        self._tele_forwarded.value += forwarded
+
+    def _run_delivery_rows_table(self, entries, start: int, stop: int) -> None:
+        """Bulk delivery drain for the columnar request path.
+
+        Same fast-path structure as :meth:`_run_delivery_rows`, but a query
+        is three payload-column reads (request id, logical target, path
+        accuracy) and the deadline check is one ``RequestTable`` column
+        lookup — no ``Request`` or ``IntermediateQuery`` object ever exists.
+        Nothing inside a delivery run appends table rows, so the deadline
+        column reference stays valid across the run.
+        """
+        engine = self.engine
+        queue = engine.queue
+        p1 = queue._p1
+        p2 = queue._p2
+        p3 = queue._p3
+        deadline_s = self.request_table.deadline_list
+        contexts = self._delivery_contexts
+        build = self._build_delivery_context
+        slow = self._deliver_columnar_slow
+        task_arrivals = self.task_arrivals
+        # Contexts validated once per run, not once per row: a delivery run
+        # contains only delivery rows, and nothing a delivery does (enqueue,
+        # batch start, drop bookkeeping) can fail a worker or swap its
+        # assignment — those happen in fault/control/model-load handlers,
+        # which are different event kinds and therefore never interleave
+        # inside a run.  Payload slots are NOT cleared: columnar payloads
+        # are ints, floats and shared worker-id strings, so stale slots pin
+        # no per-request memory (the object loop must clear, these rows
+        # need not).
+        validated = {}
+        vget = validated.get
+        forwarded = 0
+        # The unpacked context of the row's worker is kept in locals across
+        # rows (`last_wid` identity check): consecutive rows for one worker
+        # — common once routing weights skew — skip the dict probe and the
+        # 7-tuple unpack entirely.  Payload worker-id strings are shared
+        # objects, so `is` comparison is exact; an equal-but-distinct string
+        # would merely re-probe the dict.
+        last_wid: object = _UNBUILT
+        worker = append_req = append_acc = append_arr = floor_ms = task = None
+        for t, _seq, h, _kind in entries[start:stop]:
+            worker_id = p2[h]
+            if worker_id is not last_wid:
+                ctx = vget(worker_id, _UNBUILT)
+                if ctx is _UNBUILT:
+                    ctx = contexts.get(worker_id, _UNBUILT)
+                    if ctx is _UNBUILT:
+                        ctx = contexts[worker_id] = build(worker_id)
+                    elif ctx is not None and ctx[0].assignment is not ctx[6]:
+                        # Failed (assignment nulled) or swapped/reassigned
+                        # since the context was built: rebuild from live
+                        # state.
+                        ctx = contexts[worker_id] = build(worker_id)
+                    validated[worker_id] = ctx
+                if ctx is None:
+                    engine.now_s = t
+                    forwarded += slow(worker_id, p1[h], p3[h])
+                    continue
+                worker, append_req, append_acc, append_arr, floor_ms, task, _assignment = ctx
+                last_wid = worker_id
+            req = p1[h]
+            if (deadline_s[req] - t) * 1000.0 < floor_ms:
+                engine.now_s = t
+                forwarded += slow(worker_id, req, p3[h])
+                continue
+            forwarded += 1
+            task_arrivals[task] += 1
+            append_req(req)
+            append_acc(p3[h])
+            append_arr(t)
+            if not worker.busy:
+                engine.now_s = t
+                worker._maybe_start_batch()
+        engine.now_s = entries[stop - 1][0]
         self.forwarded_queries += forwarded
         self._tele_forwarded.value += forwarded
 
@@ -587,3 +738,93 @@ class ServingSimulation:
     def check_request(self, request: Request) -> None:
         if request.is_finished:
             self.metrics.record_request_finished(request)
+
+    # ----------------------------------- columnar request-path plumbing --------
+    def forward_query_columnar(self, req: int, accuracy: float, logical_worker_id: str) -> None:
+        """Columnar counterpart of :meth:`forward_query` (scalar fallback).
+
+        Pushes one object-free delivery row; the logical→physical resolution
+        happens when the row fires (the same late binding as the batched
+        object path's :class:`RoutedDeliveryEvent`), and the forwarded
+        counters are bumped at delivery time by the drain handler.
+        """
+        delay = self.network.sample_delay_s(self.rng)
+        self.engine.push_columnar(
+            np.array([self.engine.now_s + delay]),
+            KIND_COLUMNAR_DELIVERY,
+            [req],
+            [logical_worker_id],
+            [accuracy],
+        )
+
+    def notify_sink_batch_columnar(self, reqs, accuracies) -> None:
+        """Batched sink return on the columnar request path.
+
+        ``reqs`` is the completed batch's request-id list, ``accuracies`` the
+        matching end-to-end path accuracies.  When every request in the batch
+        is a single-query request finishing right here — ``outstanding == 1``
+        with no drops and no prior sink results (``accuracy_count == 0``);
+        a duplicate id inside the batch forces ``outstanding >= 2`` and so
+        fails the same mask — the whole batch collapses into one vectorized
+        :meth:`MetricsCollector.record_sink_batch_table` call.  Anything else
+        runs the exact scalar sequence per query.  The eligibility test is
+        one gather + one reduction over ``RequestTable.gate_count``, whose
+        invariant (see the table docstring) makes ``gate_count == 1``
+        equivalent to the three-column check.
+        """
+        n = len(reqs)
+        table = self.request_table
+        completions = self.network.delayed_times_s(self.engine.now_s, self.rng, n)
+        ids = np.asarray(reqs, dtype=np.int64)
+        if table.gate_count[ids].max() == 1:
+            self.metrics.record_sink_batch_table(
+                table, ids, np.asarray(accuracies, dtype=np.float64), completions
+            )
+            return
+        metrics = self.metrics
+        record_finished = metrics.record_finished_id
+        record_sink = table.record_sink_completion
+        for req, accuracy, completion in zip(reqs, accuracies, completions.tolist()):
+            if record_sink(req, completion, accuracy):
+                record_finished(table, req)
+
+    def notify_drop_id(self, req: int, reason: str = "") -> None:
+        """Columnar counterpart of :meth:`notify_drop` for one derived query."""
+        self.dropped_queries += 1
+        self._tele_dropped.value += 1
+        if reason:
+            self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1
+        table = self.request_table
+        if table.record_drop(req, self.engine.now_s):
+            self.metrics.record_finished_id(table, req)
+
+    def notify_drop_ids(self, reqs, reason: str = "") -> None:
+        """Drop a whole batch of derived queries (one request id per query).
+
+        ``reqs`` may repeat an id (two queued queries of one request die
+        together, e.g. on worker failure): drops and decrements apply per
+        *query* via unbuffered ``np.add.at``, then each request that reached
+        zero outstanding finishes exactly once.
+        """
+        ids = np.asarray(reqs, dtype=np.int64)
+        n = int(ids.size)
+        if n == 0:
+            return
+        self.dropped_queries += n
+        self._tele_dropped.value += n
+        if reason:
+            self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + n
+        table = self.request_table
+        np.add.at(table.drops, ids, 1)
+        np.add.at(table.outstanding, ids, -1)
+        if (table.outstanding[ids] < 0).any():
+            raise RuntimeError("completion bookkeeping underflow in bulk drop")
+        uniq = np.unique(ids)
+        finished = uniq[
+            (table.outstanding[uniq] == 0) & (table.status[uniq] == STATUS_IN_FLIGHT)
+        ]
+        if finished.size:
+            table.completion_s[finished] = self.engine.now_s
+            # Every finishing request here carries at least one drop.
+            table.status[finished] = STATUS_DROPPED
+            self.metrics.record_finished_ids(table, finished)

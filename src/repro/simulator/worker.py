@@ -36,7 +36,13 @@ from repro.simulator.events import (
     RoutedDeliveryEvent,
     SwapCompleteEvent,
 )
-from repro.simulator.query import IntermediateQuery
+from repro.simulator.query import (
+    STATUS_COMPLETED,
+    STATUS_DROPPED,
+    STATUS_IN_FLIGHT,
+    STATUS_LATE,
+    IntermediateQuery,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
     from repro.simulator.runner import ServingSimulation
@@ -95,6 +101,11 @@ class SimWorker:
         "_batch_event",
         "_engine",
         "_on_arrival",
+        "_columnar",
+        "_cq_req",
+        "_cq_acc",
+        "_cq_arr",
+        "_cq_head",
     )
 
     def __init__(self, physical_id: str, sim: "ServingSimulation"):
@@ -129,6 +140,17 @@ class SimWorker:
         self._pending_swap_event: Optional[SwapCompleteEvent] = None
         #: live BatchCompleteEvent for the batch currently executing
         self._batch_event: Optional[BatchCompleteEvent] = None
+        #: columnar request path: queued rows live in three parallel lists
+        #: (request id, path accuracy, worker-arrival time) consumed through a
+        #: head cursor instead of IntermediateQuery objects in a deque.  The
+        #: list objects are never replaced — delivery contexts capture their
+        #: bound ``.append`` — so compaction deletes the consumed prefix in
+        #: place.
+        self._columnar = bool(getattr(sim, "columnar_requests", False))
+        self._cq_req: List[int] = []
+        self._cq_acc: List[float] = []
+        self._cq_arr: List[float] = []
+        self._cq_head = 0
 
     # -- assignment ------------------------------------------------------------
     def _cancel_pending_swap(self) -> None:
@@ -180,9 +202,12 @@ class SimWorker:
             self._pending_swap_event = self.sim.engine.schedule_event(SwapCompleteEvent(ready_at, self))
             return
         # Task changed: queued queries of the old task cannot be served here.
-        for stale in list(self.queue):
-            self.sim.notify_drop(stale, reason="worker reassigned to a different task")
-        self.queue.clear()
+        if self._columnar:
+            self._drop_columnar_queue("worker reassigned to a different task")
+        else:
+            for stale in list(self.queue):
+                self.sim.notify_drop(stale, reason="worker reassigned to a different task")
+            self.queue.clear()
         self.pending_assignment = None
         self._cancel_pending_swap()
         self.assignment = assignment
@@ -203,13 +228,18 @@ class SimWorker:
 
     @property
     def queue_length(self) -> int:
+        if self._columnar:
+            return len(self._cq_req) - self._cq_head
         return len(self.queue)
 
     @property
     def in_flight(self) -> int:
         """Queries in the batch currently executing (0 when idle)."""
         batch_event = self._batch_event
-        return len(batch_event.batch) if batch_event is not None else 0
+        if batch_event is None:
+            return 0
+        batch = batch_event.batch
+        return len(batch[0]) if self._columnar else len(batch)
 
     @property
     def service_rate_qps(self) -> float:
@@ -236,14 +266,20 @@ class SimWorker:
         self.failed = True
         self.active = False
         if self._batch_event is not None:
-            for query in self._batch_event.batch:
-                self.sim.notify_drop(query, reason=reason)
+            if self._columnar:
+                self.sim.notify_drop_ids(self._batch_event.batch[0], reason=reason)
+            else:
+                for query in self._batch_event.batch:
+                    self.sim.notify_drop(query, reason=reason)
             self._batch_event.cancel()
             self._batch_event = None
         self.busy = False
-        for stale in list(self.queue):
-            self.sim.notify_drop(stale, reason=reason)
-        self.queue.clear()
+        if self._columnar:
+            self._drop_columnar_queue(reason)
+        else:
+            for stale in list(self.queue):
+                self.sim.notify_drop(stale, reason=reason)
+            self.queue.clear()
         self.assignment = None
         self.pending_assignment = None
         self._cancel_pending_swap()
@@ -300,8 +336,89 @@ class SimWorker:
         if not self.busy:
             self._maybe_start_batch()
 
+    def _enqueue_columnar(self, req: int, accuracy: float) -> None:
+        """A columnar delivery row arrives (already includes network delay).
+
+        Exact object-free mirror of :meth:`enqueue`: same drop decisions in
+        the same order, but the queued query is three list appends instead of
+        an :class:`IntermediateQuery` in a deque.
+        """
+        engine = self._engine
+        if engine is None:
+            engine = self.sim.engine
+        now = engine.now_s
+        sim = self.sim
+        if self.failed:
+            sim.notify_drop_id(req, reason="worker failed")
+            return
+        assignment = self.assignment
+        if assignment is None:
+            sim.notify_drop_id(req, reason="worker has no assignment")
+            return
+        child_edges = assignment.child_edges
+        if child_edges is None:
+            child_edges = tuple(sim.pipeline.children(assignment.task))
+        on_arrival = self._on_arrival
+        if on_arrival is None:
+            on_arrival = sim.drop_policy.on_arrival
+        decision = on_arrival(
+            not child_edges,
+            float(sim.request_table.deadline_s[req] - now) * 1000.0,
+            assignment.expected_latency_ms,
+        )
+        if decision.action is DropAction.DROP:
+            sim.notify_drop_id(req, reason=decision.reason)
+            return
+        sim.task_arrivals[assignment.task] += 1
+        self._cq_req.append(req)
+        self._cq_acc.append(accuracy)
+        self._cq_arr.append(now)
+        if not self.busy:
+            self._maybe_start_batch()
+
+    def _drop_columnar_queue(self, reason: str) -> None:
+        """Drop every queued columnar row; the lists stay identity-stable."""
+        head = self._cq_head
+        pending = self._cq_req[head:]
+        if pending:
+            self.sim.notify_drop_ids(pending, reason=reason)
+        del self._cq_req[:]
+        del self._cq_acc[:]
+        del self._cq_arr[:]
+        self._cq_head = 0
+
     # -- batching ----------------------------------------------------------------
     def _maybe_start_batch(self) -> None:
+        if self._columnar:
+            head = self._cq_head
+            if self.busy or head >= len(self._cq_req) or self.assignment is None or self.failed:
+                return
+            now = self.sim.engine.now_s
+            if now < self.available_at_s - 1e-12:
+                return
+            assignment = self.assignment
+            batch_count = min(len(self._cq_req) - head, assignment.batch_size)
+            stop = head + batch_count
+            batch = (
+                self._cq_req[head:stop],
+                self._cq_acc[head:stop],
+                self._cq_arr[head:stop],
+            )
+            self._cq_head = stop
+            if stop >= 4096 and stop * 2 >= len(self._cq_req):
+                # Consumed prefix dominates the lists: compact in place so the
+                # bound .append closures in delivery contexts stay valid.
+                del self._cq_req[:stop]
+                del self._cq_acc[:stop]
+                del self._cq_arr[:stop]
+                self._cq_head = 0
+            duration_s = assignment.variant.execution_latency_ms(batch_count) / 1000.0
+            self.busy = True
+            self.busy_time_s += duration_s
+            self._batch_event = self.sim.engine.schedule_event(
+                BatchCompleteEvent(now + duration_s, self, batch)
+            )
+            return
         if self.busy or not self.queue or self.assignment is None or self.failed:
             return
         now = self.sim.engine.now_s
@@ -316,7 +433,10 @@ class SimWorker:
         self.busy_time_s += duration_s
         self._batch_event = self.sim.engine.schedule_event(BatchCompleteEvent(now + duration_s, self, batch))
 
-    def _complete_batch(self, batch: List[IntermediateQuery]) -> None:
+    def _complete_batch(self, batch) -> None:
+        if self._columnar:
+            self._complete_batch_columnar(batch)
+            return
         sim = self.sim
         assignment = self.assignment
         self.busy = False
@@ -357,6 +477,44 @@ class SimWorker:
                 query.accuracy_so_far *= accuracy
                 self._dispatch(query, assignment, now)
         if self.queue:
+            self._maybe_start_batch()
+
+    def _complete_batch_columnar(self, batch) -> None:
+        """Batch completion on the columnar request path.
+
+        ``batch`` is the ``(request_ids, path_accuracies, arrival_times)``
+        triple sliced off the queue columns at batch start.  The columnar
+        path always takes the bulk branches — there is no
+        ``BATCHED_COMPLETION_MIN`` gate, because there is no scalar object
+        path to fall back to — so its RNG stream differs from object-batched
+        mode; the dispatch-equivalence suite pins the two statistically
+        equivalent.
+        """
+        sim = self.sim
+        assignment = self.assignment
+        self.busy = False
+        self._batch_event = None
+        reqs, accs, arrs = batch
+        if assignment is None:  # pragma: no cover - defensive
+            sim.notify_drop_ids(reqs, reason="assignment removed mid-batch")
+            return
+        now = sim.engine.now_s
+        n = len(reqs)
+        self.processed_batches += 1
+        sim._tele_batches.value += 1
+        sim._tele_batch_queries.value += n
+        self.processed_queries += n
+        accuracy = assignment.variant.accuracy
+        if accuracy != 1.0:
+            accs = [a * accuracy for a in accs]
+        child_edges = assignment.child_edges
+        if child_edges is None:
+            child_edges = tuple(sim.pipeline.children(assignment.task))
+        if not child_edges:
+            sim.notify_sink_batch_columnar(reqs, accs)
+        else:
+            self._dispatch_batch_columnar(reqs, accs, arrs, assignment, child_edges, now)
+        if len(self._cq_req) > self._cq_head:
             self._maybe_start_batch()
 
     # -- forwarding ----------------------------------------------------------------
@@ -584,6 +742,207 @@ class SimWorker:
             request = query.request
             request.record_internal_completion(now_s)
             check_request(request)
+
+    def _dispatch_batch_columnar(
+        self,
+        reqs: List[int],
+        accs: List[float],
+        arrs: List[float],
+        assignment: WorkerAssignment,
+        child_edges: Tuple[Edge, ...],
+        now_s: float,
+    ) -> None:
+        """Vectorized fan-out for a completed columnar batch.
+
+        Mirrors :meth:`_dispatch_batch` stage by stage with all ``Request``/
+        ``IntermediateQuery`` traffic replaced by table columns: outstanding
+        seeding and the final parent completions are unbuffered ``np.add.at``
+        scatters (a batch may carry two queries of one request), the terminal
+        classification is one ``np.where`` over the drops/deadline columns,
+        and children enter the calendar as three payload columns.
+        """
+        sim = self.sim
+        rng = sim.rng
+        n = len(reqs)
+        variant = assignment.variant
+        content_model = sim.content_model
+        counts_per_edge = [
+            content_model.sample_children_batch(variant, edge, rng, n) for edge in child_edges
+        ]
+        if len(counts_per_edge) == 1:
+            totals = counts_per_edge[0]
+        else:
+            totals = counts_per_edge[0].copy()
+            for counts in counts_per_edge[1:]:
+                totals += counts
+        total_children = int(totals.sum())
+        self.factor_observation_sum += total_children
+        self.factor_observation_count += n
+
+        table = sim.request_table
+        ids = np.asarray(reqs, dtype=np.int64)
+        if total_children:
+            # Seed every parent's outstanding count before any child can be
+            # dropped, preserving the add_outstanding-before-forward ordering
+            # invariant (the parent's own count keeps the request in flight
+            # throughout the fan-out).
+            np.add.at(table.outstanding, ids, totals)
+            np.add.at(table.gate_count, ids, totals)
+            routing_table = sim.routing_table_for(assignment.logical_id)
+            budget_ms = assignment.latency_budget_ms
+            drop_policy = sim.drop_policy
+            needs_decision = drop_policy.needs_forward_decision
+            time_in_task = [(now_s - a) * 1000.0 for a in arrs]
+            consult_any = False
+            consult = []
+            for t in time_in_task:
+                flag = needs_decision(t, budget_ms)
+                consult_any = consult_any or flag
+                consult.append(flag)
+            chunk = sim.config.batch_route_chunk
+            deadline_s = table.deadline_s  # no add_requests during a dispatch
+            out_times: List[float] = []
+            out_targets: List[str] = []
+            out_reqs: List[int] = []
+            out_accs: List[float] = []
+            for edge, counts in zip(child_edges, counts_per_edge):
+                edge_total = int(counts.sum())
+                if edge_total == 0:
+                    continue
+                child_task = edge.child
+                parent_idx = np.repeat(np.arange(n), counts).tolist()
+                child_reqs = [reqs[i] for i in parent_idx]
+                child_accs = [accs[i] for i in parent_idx]
+                drawn = (
+                    routing_table.choose_batch_indices(
+                        child_task, rng, edge_total, method="alias", chunk=chunk
+                    )
+                    if routing_table is not None
+                    else None
+                )
+                if drawn is None:
+                    # No serviceable route for this task: per-child policy
+                    # decision with planned=None, then backup table or drop.
+                    for slot, pi in enumerate(parent_idx):
+                        self._forward_columnar(
+                            child_reqs[slot],
+                            child_accs[slot],
+                            child_task,
+                            time_in_task[pi],
+                            assignment,
+                            routing_table,
+                        )
+                    continue
+                entries, indices = drawn
+                worker_ids = [entry.worker_id for entry in entries]
+                delivery_times = (now_s + sim.network.sample_delays_s(rng, edge_total)).tolist()
+                indices_list = indices.tolist()
+                if not consult_any:
+                    out_times.extend(delivery_times)
+                    out_targets.extend(worker_ids[j] for j in indices_list)
+                    out_reqs.extend(child_reqs)
+                    out_accs.extend(child_accs)
+                    continue
+                backups = sim.backups_for(child_task)
+                on_forward_batch = drop_policy.on_forward_batch
+                notify_drop_id = sim.notify_drop_id
+                offset = 0
+                for pi, cnt in enumerate(counts.tolist()):
+                    if not cnt:
+                        continue
+                    stop = offset + cnt
+                    decisions = None
+                    group_entries = None
+                    if consult[pi]:
+                        group_entries = [entries[indices_list[k]] for k in range(offset, stop)]
+                        decisions = on_forward_batch(
+                            time_in_task[pi],
+                            budget_ms,
+                            group_entries,
+                            backups,
+                            float(deadline_s[reqs[pi]] - now_s) * 1000.0,
+                            rng,
+                        )
+                    if decisions is None:
+                        out_times.extend(delivery_times[offset:stop])
+                        out_targets.extend(worker_ids[indices_list[k]] for k in range(offset, stop))
+                        out_reqs.extend(child_reqs[offset:stop])
+                        out_accs.extend(child_accs[offset:stop])
+                        offset = stop
+                        continue
+                    for slot, decision in enumerate(decisions):
+                        k = offset + slot
+                        if decision.action is DropAction.DROP:
+                            notify_drop_id(child_reqs[k], reason=decision.reason)
+                            continue
+                        if decision.action is DropAction.REROUTE and decision.target is not None:
+                            target_id = decision.target.worker_id
+                        else:
+                            target_id = group_entries[slot].worker_id
+                        out_times.append(delivery_times[k])
+                        out_targets.append(target_id)
+                        out_reqs.append(child_reqs[k])
+                        out_accs.append(child_accs[k])
+                    offset = stop
+            if out_times:
+                sim.engine.push_columnar(
+                    out_times, KIND_COLUMNAR_DELIVERY, out_reqs, out_targets, out_accs
+                )
+
+        # Every parent query is finished (its children carry on); the whole
+        # batch's record_internal_completion collapses into one scatter and
+        # one vectorized terminal classification.
+        outstanding = table.outstanding
+        np.add.at(outstanding, ids, -1)
+        if (outstanding[ids] < 0).any():
+            raise RuntimeError("completion bookkeeping underflow in batch dispatch")
+        uniq = np.unique(ids)
+        finished = uniq[(outstanding[uniq] == 0) & (table.status[uniq] == STATUS_IN_FLIGHT)]
+        if finished.size:
+            table.completion_s[finished] = now_s
+            table.status[finished] = np.where(
+                table.drops[finished] > 0,
+                STATUS_DROPPED,
+                np.where(
+                    now_s <= table.deadline_s[finished] + 1e-9, STATUS_COMPLETED, STATUS_LATE
+                ),
+            )
+            sim.metrics.record_finished_ids(table, finished)
+
+    def _forward_columnar(
+        self,
+        req: int,
+        accuracy: float,
+        child_task: str,
+        time_in_task_ms: float,
+        assignment: WorkerAssignment,
+        routing_table,
+    ) -> None:
+        """Scalar forward fallback for one columnar child (mirrors :meth:`_forward`)."""
+        sim = self.sim
+        planned_entry = routing_table.choose(child_task, sim.rng) if routing_table is not None else None
+        backups = sim.backups_for(child_task)
+        decision = sim.drop_policy.on_forward(
+            time_in_task_ms,
+            assignment.latency_budget_ms,
+            planned_entry,
+            backups,
+            float(sim.request_table.deadline_s[req] - sim.engine.now_s) * 1000.0,
+            sim.rng,
+        )
+        if decision.action is DropAction.DROP:
+            sim.notify_drop_id(req, reason=decision.reason)
+            return
+        if decision.action is DropAction.REROUTE and decision.target is not None:
+            target_id = decision.target.worker_id
+        elif planned_entry is not None:
+            target_id = planned_entry.worker_id
+        elif backups:
+            target_id = backups[0].worker_id
+        else:
+            sim.notify_drop_id(req, reason="no downstream worker available")
+            return
+        sim.forward_query_columnar(req, accuracy, target_id)
 
     def _forward(self, child_query, child_task: str, time_in_task_ms: float, assignment: WorkerAssignment, routing_table) -> None:
         planned_entry = routing_table.choose(child_task, self.sim.rng) if routing_table is not None else None

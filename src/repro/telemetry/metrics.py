@@ -116,8 +116,22 @@ class P2Quantile:
         # so only p1..p4 / d1..d4 are tracked.  The cell search compares
         # against the middle marker first (binary order — fewest expected
         # compares per sample).
+        #
+        # Two representation choices keep the adjustment branch — which
+        # monotone-trending streams (a saturated run's latencies) hit on
+        # nearly every sample — cheap without moving a single float result:
+        # positions are integer-valued floats (exact below 2^53, so every
+        # difference, product and quotient is bit-identical to the int
+        # version while skipping the per-op int→float conversions), and the
+        # ±1 adjustment directions are split into separate branches so
+        # ``step`` is constant-folded ((p1 - 1 + step) becomes p1 for the
+        # +1 case, p1 - 2 for the -1 case — exact integer arithmetic).
         h0, h1, h2, h3, h4 = self._heights
         _, p1, p2, p3, p4 = self._positions
+        p1 += 0.0
+        p2 += 0.0
+        p3 += 0.0
+        p4 += 0.0
         _, d1, d2, d3, d4 = self._desired
         _, inc1, inc2, inc3, _ = self._increments
         for x in values:
@@ -125,71 +139,92 @@ class P2Quantile:
                 if x < h1:
                     if x < h0:
                         h0 = x
-                    p1 += 1
-                    p2 += 1
-                    p3 += 1
-                    p4 += 1
+                    p1 += 1.0
+                    p2 += 1.0
+                    p3 += 1.0
+                    p4 += 1.0
                 else:
-                    p2 += 1
-                    p3 += 1
-                    p4 += 1
+                    p2 += 1.0
+                    p3 += 1.0
+                    p4 += 1.0
             elif x < h3:
-                p3 += 1
-                p4 += 1
+                p3 += 1.0
+                p4 += 1.0
             elif x < h4:
-                p4 += 1
+                p4 += 1.0
             else:
                 h4 = x
-                p4 += 1
+                p4 += 1.0
             d1 += inc1
             d2 += inc2
             d3 += inc3
             d4 += 1.0
 
             delta = d1 - p1
-            if (delta >= 1.0 and p2 - p1 > 1) or (delta <= -1.0 and 1 - p1 < -1):
-                step = 1 if delta >= 0 else -1
-                candidate = h1 + (step / (p2 - 1)) * (
-                    (p1 - 1 + step) * (h2 - h1) / (p2 - p1) + (p2 - p1 - step) * (h1 - h0) / (p1 - 1)
+            if delta >= 1.0:
+                if p2 - p1 > 1.0:
+                    candidate = h1 + (1 / (p2 - 1.0)) * (
+                        p1 * (h2 - h1) / (p2 - p1) + (p2 - p1 - 1.0) * (h1 - h0) / (p1 - 1.0)
+                    )
+                    if h0 < candidate < h2:
+                        h1 = candidate
+                    else:  # parabolic prediction left the bracket: linear fallback
+                        h1 = h1 + (h2 - h1) / (p2 - p1)
+                    p1 += 1.0
+            elif delta <= -1.0 and 1.0 - p1 < -1.0:
+                candidate = h1 + (-1 / (p2 - 1.0)) * (
+                    (p1 - 2.0) * (h2 - h1) / (p2 - p1) + (p2 - p1 + 1.0) * (h1 - h0) / (p1 - 1.0)
                 )
                 if h0 < candidate < h2:
                     h1 = candidate
-                elif step == 1:  # parabolic prediction left the bracket: linear fallback
-                    h1 = h1 + (h2 - h1) / (p2 - p1)
                 else:
-                    h1 = h1 - (h0 - h1) / (1 - p1)
-                p1 += step
+                    h1 = h1 - (h0 - h1) / (1.0 - p1)
+                p1 -= 1.0
 
             delta = d2 - p2
-            if (delta >= 1.0 and p3 - p2 > 1) or (delta <= -1.0 and p1 - p2 < -1):
-                step = 1 if delta >= 0 else -1
-                candidate = h2 + (step / (p3 - p1)) * (
-                    (p2 - p1 + step) * (h3 - h2) / (p3 - p2) + (p3 - p2 - step) * (h2 - h1) / (p2 - p1)
+            if delta >= 1.0:
+                if p3 - p2 > 1.0:
+                    candidate = h2 + (1 / (p3 - p1)) * (
+                        (p2 - p1 + 1.0) * (h3 - h2) / (p3 - p2) + (p3 - p2 - 1.0) * (h2 - h1) / (p2 - p1)
+                    )
+                    if h1 < candidate < h3:
+                        h2 = candidate
+                    else:
+                        h2 = h2 + (h3 - h2) / (p3 - p2)
+                    p2 += 1.0
+            elif delta <= -1.0 and p1 - p2 < -1.0:
+                candidate = h2 + (-1 / (p3 - p1)) * (
+                    (p2 - p1 - 1.0) * (h3 - h2) / (p3 - p2) + (p3 - p2 + 1.0) * (h2 - h1) / (p2 - p1)
                 )
                 if h1 < candidate < h3:
                     h2 = candidate
-                elif step == 1:
-                    h2 = h2 + (h3 - h2) / (p3 - p2)
                 else:
                     h2 = h2 - (h1 - h2) / (p1 - p2)
-                p2 += step
+                p2 -= 1.0
 
             delta = d3 - p3
-            if (delta >= 1.0 and p4 - p3 > 1) or (delta <= -1.0 and p2 - p3 < -1):
-                step = 1 if delta >= 0 else -1
-                candidate = h3 + (step / (p4 - p2)) * (
-                    (p3 - p2 + step) * (h4 - h3) / (p4 - p3) + (p4 - p3 - step) * (h3 - h2) / (p3 - p2)
+            if delta >= 1.0:
+                if p4 - p3 > 1.0:
+                    candidate = h3 + (1 / (p4 - p2)) * (
+                        (p3 - p2 + 1.0) * (h4 - h3) / (p4 - p3) + (p4 - p3 - 1.0) * (h3 - h2) / (p3 - p2)
+                    )
+                    if h2 < candidate < h4:
+                        h3 = candidate
+                    else:
+                        h3 = h3 + (h4 - h3) / (p4 - p3)
+                    p3 += 1.0
+            elif delta <= -1.0 and p2 - p3 < -1.0:
+                candidate = h3 + (-1 / (p4 - p2)) * (
+                    (p3 - p2 - 1.0) * (h4 - h3) / (p4 - p3) + (p4 - p3 + 1.0) * (h3 - h2) / (p3 - p2)
                 )
                 if h2 < candidate < h4:
                     h3 = candidate
-                elif step == 1:
-                    h3 = h3 + (h4 - h3) / (p4 - p3)
                 else:
                     h3 = h3 - (h2 - h3) / (p2 - p3)
-                p3 += step
+                p3 -= 1.0
 
         self._heights = [h0, h1, h2, h3, h4]
-        self._positions = [1, p1, p2, p3, p4]
+        self._positions = [1, int(p1), int(p2), int(p3), int(p4)]
         self._desired = [self._desired[0], d1, d2, d3, d4]
 
     def value(self) -> float:
@@ -242,7 +277,11 @@ class Histogram:
         call and length check.
         """
         buffer = self._buffer
-        buffer.extend(map(float, values))
+        if type(values) is list:
+            # bulk callers hand over plain float lists; skip the map()
+            buffer.extend(values)
+        else:
+            buffer.extend(map(float, values))
         if len(buffer) >= self.FLUSH_LIMIT:
             self._flush()
 
@@ -346,7 +385,10 @@ class WindowedHistogram:
         self._active.append(float(x))
 
     def observe_many(self, values: Iterable[float]) -> None:
-        self._active.extend(map(float, values))
+        if type(values) is list:
+            self._active.extend(values)
+        else:
+            self._active.extend(map(float, values))
 
     def rotate(self) -> None:
         """Close the active window; it becomes the fallback for empty reads."""

@@ -59,6 +59,28 @@ class TestFlatten:
         assert bench_trend.flatten("nonsense") == {}
         assert bench_trend.flatten({"s": {"flag": True}}) == {}
 
+    def test_request_table_keys_flow_through(self):
+        """The columnar request-path ablation adds ``request_table_*`` keys
+        to the existing ``engine_calendar`` section; they flatten alongside
+        the engine keys without any schema change."""
+        record = {
+            "engine_calendar": {
+                "batched_calendar_events_per_s": 831_615.23,
+                "request_table_events_per_s": 1_400_000.0,
+                "request_table_object_events_per_s": 830_000.0,
+                "request_table_speedup_vs_object": 1.7,
+                "request_table_total_requests": 360_000,
+            }
+        }
+        flat = bench_trend.flatten(record)
+        assert flat == {
+            "engine_calendar.batched_calendar_events_per_s": 831_615.23,
+            "engine_calendar.request_table_events_per_s": 1_400_000.0,
+            "engine_calendar.request_table_object_events_per_s": 830_000.0,
+            "engine_calendar.request_table_speedup_vs_object": 1.7,
+            "engine_calendar.request_table_total_requests": 360_000.0,
+        }
+
 
 class TestTrendTable:
     def history(self):

@@ -181,12 +181,12 @@ class TestColumnarRows:
         engine = CalendarEngine()
         seen = []
         engine.set_run_cap(KIND_COLUMNAR_DELIVERY, 0.0)
-        engine.set_bulk_handler(
-            KIND_COLUMNAR_DELIVERY,
-            lambda times, handles: seen.extend(
-                ("row", t, p) for t, p in zip(times, engine.queue.take_payloads(handles)[0])
-            ),
-        )
+        p1 = engine.queue._p1
+
+        def drain(entries, start, stop):
+            seen.extend(("row", entries[i][0], p1[entries[i][2]]) for i in range(start, stop))
+
+        engine.set_bulk_handler(KIND_COLUMNAR_DELIVERY, drain)
         engine.schedule(0.2, lambda: seen.append(("obj", 0.2)))
         engine.push_columnar(np.array([0.1, 0.2, 0.3]), KIND_COLUMNAR_DELIVERY, ["a", "b", "c"])
         engine.run()
@@ -211,12 +211,18 @@ class TestColumnarRows:
 
     def test_run_claims_stop_at_kind_boundaries(self):
         """A macro-run is a contiguous same-kind prefix: it must never skip
-        over an interleaved event of a different kind."""
+        over an interleaved event of a different kind.  (Wide bucket so all
+        five entries share one sorted bucket — runs also split at bucket
+        boundaries, which is not what this test pins.)"""
         engine = CalendarEngine()
+        engine.queue = CalendarQueue(bucket_width_s=10.0)
         runs = []
         engine.set_run_cap(KIND_COLUMNAR_DELIVERY, 10.0)
         engine.set_bulk_handler(
-            KIND_COLUMNAR_DELIVERY, lambda times, handles: runs.append(list(times))
+            KIND_COLUMNAR_DELIVERY,
+            lambda entries, start, stop: runs.append(
+                [entries[i][0] for i in range(start, stop)]
+            ),
         )
         engine.push_columnar(np.array([0.1, 0.2, 0.4, 0.5]), KIND_COLUMNAR_DELIVERY, [None] * 4)
         engine.schedule(0.3, lambda: runs.append("callback"))
@@ -233,7 +239,12 @@ class TestColumnarRows:
         drained = []
         engine.queue = queue
         engine.set_run_cap(KIND_COLUMNAR_DELIVERY, 10.0)
-        engine.set_bulk_handler(KIND_COLUMNAR_DELIVERY, lambda t, h: drained.extend(t))
+        engine.set_bulk_handler(
+            KIND_COLUMNAR_DELIVERY,
+            lambda entries, start, stop: drained.extend(
+                entries[i][0] for i in range(start, stop)
+            ),
+        )
         engine.run()
         assert drained == times.tolist()
 
