@@ -166,10 +166,28 @@ class TelemetryWindow:
     p99_latency_ms: float = math.nan
     #: the control plane's current demand estimate (qps)
     demand_qps: float = 0.0
+    #: resilience-layer activity over the window (all 0 with the layer off):
+    #: retries scheduled, queries failover-re-queued off failed workers, and
+    #: requests force-dropped by their timeout
+    retries: int = 0
+    failover_requeued: int = 0
+    timeouts: int = 0
 
     @property
     def finished(self) -> int:
         return self.completed + self.dropped + self.late
+
+    @property
+    def retry_pressure(self) -> float:
+        """Retry + failover work per finished request over the window.
+
+        A policy-facing overload/instability signal: 0.0 in calm (or
+        resilience-off) runs, rising when the resilience layer is busy
+        masking faults — sustained pressure means capacity is being spent
+        re-doing work and the plan should react.
+        """
+        finished = self.finished
+        return (self.retries + self.failover_requeued) / finished if finished else 0.0
 
     @property
     def drop_rate(self) -> float:

@@ -108,7 +108,7 @@ class ControlPlaneEngine:
         #: dispatch-time routing probes (attached by the simulation runner)
         self.cluster_state: Optional["ClusterStateProvider"] = None
         #: previous-period telemetry counter readings for window deltas
-        self._window_marker: Optional[Tuple[float, float, float, float]] = None
+        self._window_marker: Optional[Tuple[float, ...]] = None
         self.last_context: Optional[ControlContext] = None
         self.telemetry: Optional["TelemetryRegistry"] = None
         if telemetry is not None:
@@ -175,9 +175,12 @@ class ControlPlaneEngine:
         completed = counter_value("requests.completed")
         dropped = counter_value("requests.dropped")
         late = counter_value("requests.late")
+        retries = counter_value("resilience.retries")
+        failover = counter_value("resilience.failover_requeued")
+        timeouts = counter_value("resilience.timeouts")
         marker = self._window_marker
         if marker is None:
-            marker = (now_s, 0.0, 0.0, 0.0)
+            marker = (now_s, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
         # Windowed quantiles: the rotating per-window histogram reflects the
         # latencies observed *since the last committed context* (plus the
         # previous window as fallback while the current one is empty), so the
@@ -190,7 +193,7 @@ class ControlPlaneEngine:
         p50 = latency.quantile(0.5) if latency is not None else math.nan
         p99 = latency.quantile(0.99) if latency is not None else math.nan
         if commit:
-            self._window_marker = (now_s, completed, dropped, late)
+            self._window_marker = (now_s, completed, dropped, late, retries, failover, timeouts)
             if isinstance(latency, WindowedHistogram):
                 latency.rotate()
         return TelemetryWindow(
@@ -201,6 +204,9 @@ class ControlPlaneEngine:
             p50_latency_ms=p50,
             p99_latency_ms=p99,
             demand_qps=self.allocation.routing_demand_qps(),
+            retries=int(retries - marker[4]),
+            failover_requeued=int(failover - marker[5]),
+            timeouts=int(timeouts - marker[6]),
         )
 
     # -- reporting API (frontend / worker heartbeats) ---------------------------

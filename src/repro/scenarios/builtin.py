@@ -159,6 +159,35 @@ BUILTIN_SCENARIOS = [
         trace_params={"qps": 30.0, "duration_s": 10},
         faults=(FaultSpec(kind="worker_failure", at_s=4.0, duration_s=3.0, count=1),),
     ),
+    ScenarioSpec(
+        name="chaos_crash_restart",
+        description="Stochastic MTTF/MTTR crash-restart chaos on the single-task fleet with "
+        "retries and failover re-queueing masking the losses.",
+        pipeline="single_task",
+        num_workers=6,
+        slo_ms=150.0,
+        trace="constant",
+        trace_params={"qps": 30.0, "duration_s": 15},
+        faults=(
+            FaultSpec(kind="crash_restart", at_s=2.0, duration_s=10.0, count=2, mttf_s=3.0, mttr_s=1.0),
+        ),
+        resilience={"max_retries": 2, "failover_requeue": True},
+    ),
+    ScenarioSpec(
+        name="chaos_stragglers",
+        description="Straggler chaos: two workers run 3x slower for a window while a 5x "
+        "network-delay spike passes through; tail-latency hedging enabled.",
+        pipeline="single_task",
+        num_workers=6,
+        slo_ms=150.0,
+        trace="constant",
+        trace_params={"qps": 30.0, "duration_s": 15},
+        faults=(
+            FaultSpec(kind="worker_slowdown", at_s=3.0, duration_s=6.0, count=2, magnitude=3.0),
+            FaultSpec(kind="network_delay_spike", at_s=5.0, duration_s=4.0, magnitude=5.0),
+        ),
+        resilience={"max_retries": 1, "hedging": True},
+    ),
 ]
 
 for _spec in BUILTIN_SCENARIOS:

@@ -176,6 +176,11 @@ class ScenarioSpec:
     drop_policy: Optional[str] = None
     sim_overrides: Dict[str, object] = field(default_factory=dict)
     faults: Tuple[FaultSpec, ...] = ()
+    #: request-level resilience knobs (see
+    #: :class:`repro.simulator.resilience.ResilienceConfig`) as a plain kwargs
+    #: dict so specs stay picklable; ``None`` (default) leaves the layer off
+    #: and the run bit-identical to a resilience-free build
+    resilience: Optional[Dict[str, object]] = None
 
     # -- construction ---------------------------------------------------------
     def with_overrides(self, **changes) -> "ScenarioSpec":
@@ -252,6 +257,7 @@ class ScenarioSpec:
             engine=self.engine,
             request_path=self.request_path,
             drop_policy=self.resolved_drop_policy(),
+            resilience=dict(self.resilience) if self.resilience is not None else None,
         )
         # sim_overrides wins over spec-level fields (e.g. dispatch_mode,
         # drop_policy), matching its name.

@@ -39,6 +39,7 @@ from repro.simulator.metrics import IntervalMetrics, MetricsCollector, Simulatio
 from repro.simulator.worker import SimWorker
 from repro.simulator.cluster import Cluster
 from repro.simulator.frontend import Frontend
+from repro.simulator.resilience import ResilienceConfig, ResilienceManager
 from repro.simulator.runner import ServingSimulation, SimulationConfig
 
 __all__ = [
@@ -62,6 +63,8 @@ __all__ = [
     "SimWorker",
     "Cluster",
     "Frontend",
+    "ResilienceConfig",
+    "ResilienceManager",
     "ServingSimulation",
     "SimulationConfig",
 ]

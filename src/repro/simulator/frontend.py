@@ -82,6 +82,10 @@ class Frontend:
         request.add_outstanding(1)
         query = self.sim.new_intermediate_query(request, root_task, now, accuracy_so_far=1.0)
 
+        resilience = getattr(self.sim, "resilience", None)
+        if resilience is not None and resilience.timeout_s is not None:
+            resilience.arm_timeout(request)
+
         routing = self.sim.routing_plan
         entry = routing.frontend_table.choose(root_task, self.sim.rng) if routing is not None else None
         if entry is None:

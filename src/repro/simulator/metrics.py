@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
 
@@ -94,6 +94,10 @@ class SimulationSummary:
     #: flattened TelemetryRegistry snapshot of the run (counters, gauges,
     #: streaming-quantile histograms); plain floats so summaries stay picklable
     telemetry: Dict[str, float] = field(default_factory=dict)
+    #: ordered ``(time_s, label)`` fault-injection events of the run
+    #: (fail/recover/crash/slowdown/net-spike markers from the
+    #: ``faults.timeline`` telemetry Timeline); empty without faults
+    fault_timeline: List[Tuple[float, str]] = field(default_factory=list)
 
     def timeseries(self, attribute: str) -> List[float]:
         """Extract a per-interval series by attribute/property name."""

@@ -30,14 +30,20 @@ class NetworkModel:
         #: keeping simulations byte-identical with previous releases
         self._jitter_low = -self.jitter_ms
         self._jitter_span = self.jitter_ms - self._jitter_low
+        #: transient multiplier on every hop, driven by ``network_delay_spike``
+        #: chaos faults; 1.0 (the default) takes guarded fast paths that leave
+        #: every sampled value bit-identical to a spike-free build
+        self.delay_scale = 1.0
 
     def sample_latency_ms(self, rng: Optional[np.random.Generator] = None) -> float:
         """One hop's communication latency in milliseconds."""
         if self.jitter_ms <= 0 or rng is None:
-            return self.latency_ms
+            value = self.latency_ms
+            return value * self.delay_scale if self.delay_scale != 1.0 else value
         jitter = self._jitter_low + self._jitter_span * rng.random()
         value = self.latency_ms + jitter
-        return value if value > 0.0 else 0.0
+        value = value if value > 0.0 else 0.0
+        return value * self.delay_scale if self.delay_scale != 1.0 else value
 
     def sample_delay_s(self, rng: Optional[np.random.Generator] = None) -> float:
         """One hop's communication latency in seconds.
@@ -47,9 +53,14 @@ class NetworkModel:
         hot path and the extra call is measurable.
         """
         if self.jitter_ms <= 0 or rng is None:
+            if self.delay_scale != 1.0:
+                return self.latency_ms * self.delay_scale / 1000.0
             return self.latency_ms / 1000.0
         value = self.latency_ms + (self._jitter_low + self._jitter_span * rng.random())
-        return (value if value > 0.0 else 0.0) / 1000.0
+        value = value if value > 0.0 else 0.0
+        if self.delay_scale != 1.0:
+            value *= self.delay_scale
+        return value / 1000.0
 
     def sample_delays_s(self, rng: Optional[np.random.Generator], size: int) -> np.ndarray:
         """``size`` hop latencies in seconds, drawn in one vectorized call.
@@ -60,9 +71,11 @@ class NetworkModel:
         uniform jitter otherwise), but consume the RNG stream in bulk.
         """
         if self.jitter_ms <= 0 or rng is None:
-            return np.full(size, self.latency_ms / 1000.0)
+            return np.full(size, self.latency_ms * self.delay_scale / 1000.0)
         delays = self.latency_ms + rng.uniform(-self.jitter_ms, self.jitter_ms, size=size)
         np.maximum(delays, 0.0, out=delays)
+        if self.delay_scale != 1.0:
+            delays *= self.delay_scale
         return delays / 1000.0
 
     def delayed_times_s(self, base_s: float, rng: Optional[np.random.Generator], size: int) -> np.ndarray:
@@ -75,7 +88,11 @@ class NetworkModel:
         op instead of two on the per-batch sink path.
         """
         if self.jitter_ms <= 0 or rng is None:
+            if self.delay_scale != 1.0:
+                return np.full(size, base_s + self.latency_ms * self.delay_scale / 1000.0)
             return np.full(size, base_s + self.latency_ms / 1000.0)
         delays = self.latency_ms + rng.uniform(-self.jitter_ms, self.jitter_ms, size=size)
         np.maximum(delays, 0.0, out=delays)
+        if self.delay_scale != 1.0:
+            delays *= self.delay_scale
         return base_s + delays / 1000.0

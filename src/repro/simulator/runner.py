@@ -42,6 +42,7 @@ from repro.simulator.events import (
 from repro.simulator.frontend import Frontend
 from repro.simulator.metrics import MetricsCollector, SimulationSummary
 from repro.simulator.network import NetworkModel
+from repro.simulator.resilience import ResilienceConfig, ResilienceManager
 from repro.simulator.query import (
     STATUS_DROPPED,
     STATUS_IN_FLIGHT,
@@ -127,6 +128,12 @@ class SimulationConfig:
     #: execution time multiplied by this slack, matching the SLO/2 queueing
     #: allowance of Section 4.1 (waiting time assumed equal to processing time)
     budget_slack: float = 2.0
+    #: request-level resilience knobs (retries / timeouts / hedging /
+    #: failover re-queueing): a :class:`~repro.simulator.resilience.
+    #: ResilienceConfig`, or a plain kwargs dict (kept picklable for sweep
+    #: workers).  ``None`` (default) disables the layer entirely — no manager
+    #: is built, no hook fires, the RNG stream is untouched.
+    resilience: Optional[object] = None
 
 
 class ServingSimulation:
@@ -227,6 +234,19 @@ class ServingSimulation:
         #: cleared on every plan application, revalidated per row against the
         #: live assignment
         self._delivery_contexts: Dict[str, object] = {}
+        #: fault-induced query losses, counted apart from generic drops so
+        #: fault-window accounting closes exactly (satellite of the
+        #: resilience layer; always registered, only bumped on faults)
+        self._tele_dropped_on_fault = self.telemetry.counter("queries.dropped_on_fault")
+        #: request-level resilience layer (None = off; every hot-path hook is
+        #: a single attribute check in that case)
+        res_cfg = self.config.resilience
+        if isinstance(res_cfg, dict):
+            res_cfg = ResilienceConfig(**res_cfg)
+        if res_cfg is not None and res_cfg.enabled:
+            self.resilience: Optional[ResilienceManager] = ResilienceManager(self, res_cfg)
+        else:
+            self.resilience = None
         if self.calendar_mode:
             self._configure_calendar_engine()
 
@@ -239,6 +259,9 @@ class ServingSimulation:
         self.engine.run(until_s=horizon, max_events=self.config.max_events)
         summary = self.metrics.summary()
         summary.telemetry = self.telemetry.snapshot()
+        timeline = self.telemetry.get("faults.timeline")
+        if timeline is not None:
+            summary.fault_timeline = list(timeline.events)
         return summary
 
     #: arrivals materialized into event objects per calendar load; the sampled
@@ -682,9 +705,15 @@ class ServingSimulation:
         self._tele_forwarded.value += 1
         delay = self.network.sample_delay_s(self.rng)
         self.engine.schedule_event(DeliveryEvent(self.engine.now_s + delay, worker, query))
+        resilience = self.resilience
+        if resilience is not None and resilience.hedging:
+            resilience.maybe_arm_hedge(query, logical_worker_id)
 
     def notify_sink(self, query: IntermediateQuery) -> None:
         """A query finished the last task of its path; return the result to the Frontend."""
+        resilience = self.resilience
+        if resilience is not None and resilience.absorb_sink(query):
+            return  # hedge loser or timed-out straggler: already accounted
         delay = self.network.sample_delay_s(self.rng)
         completion_time = self.engine.now_s + delay
         request = query.request
@@ -726,10 +755,15 @@ class ServingSimulation:
                 metrics.record_request_finished(request)
 
     def notify_drop(self, query: IntermediateQuery, reason: str = "") -> None:
+        resilience = self.resilience
+        if resilience is not None and resilience.on_query_drop(query, reason):
+            return  # retried, hedge-masked or timed-out: not a real drop
         self.dropped_queries += 1
         self._tele_dropped.value += 1
         if reason:
             self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1
+            if reason == "worker failed":
+                self._tele_dropped_on_fault.value += 1
         request = query.request
         request.record_drop(self.engine.now_s)
         if request.status is not RequestStatus.IN_FLIGHT:
@@ -737,6 +771,9 @@ class ServingSimulation:
 
     def check_request(self, request: Request) -> None:
         if request.is_finished:
+            resilience = self.resilience
+            if resilience is not None and resilience.absorbed(request):
+                return  # timed out earlier: metrics already recorded once
             self.metrics.record_request_finished(request)
 
     # ----------------------------------- columnar request-path plumbing --------
@@ -794,6 +831,8 @@ class ServingSimulation:
         self._tele_dropped.value += 1
         if reason:
             self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1
+            if reason == "worker failed":
+                self._tele_dropped_on_fault.value += 1
         table = self.request_table
         if table.record_drop(req, self.engine.now_s):
             self.metrics.record_finished_id(table, req)
@@ -814,6 +853,8 @@ class ServingSimulation:
         self._tele_dropped.value += n
         if reason:
             self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + n
+            if reason == "worker failed":
+                self._tele_dropped_on_fault.value += n
         table = self.request_table
         np.add.at(table.drops, ids, 1)
         np.add.at(table.outstanding, ids, -1)

@@ -92,6 +92,8 @@ class SimWorker:
         "available_at_s",
         "active",
         "failed",
+        "fail_epoch",
+        "slowdown",
         "processed_queries",
         "processed_batches",
         "busy_time_s",
@@ -130,6 +132,12 @@ class SimWorker:
         self.active = False
         #: fault-injected hard failure; the worker serves nothing until recovered
         self.failed = False
+        #: bumped on every fail(); recovery closures compare it so a stale
+        #: recovery never resurrects a worker a *later* fault took down
+        self.fail_epoch = 0
+        #: straggler-fault service-rate multiplier (1.0 = nominal); batches
+        #: run ``slowdown``× longer while it is raised
+        self.slowdown = 1.0
         self.processed_queries = 0
         self.processed_batches = 0
         self.busy_time_s = 0.0
@@ -256,29 +264,63 @@ class SimWorker:
         latency_ms = assignment.variant.execution_latency_ms(assignment.batch_size)
         if latency_ms <= 0.0:
             return 0.0
-        return assignment.batch_size * 1000.0 / latency_ms
+        rate = assignment.batch_size * 1000.0 / latency_ms
+        if self.slowdown != 1.0:
+            rate /= self.slowdown
+        return rate
 
     # -- fault injection ---------------------------------------------------------
     def fail(self, reason: str = "worker failed") -> None:
-        """Hard failure: everything queued or executing here is lost."""
+        """Hard failure: everything queued or executing here is lost --
+        unless the resilience layer's failover is on, in which case queued
+        and in-flight queries are re-queued to surviving replicas."""
         if self.failed:
             return
         self.failed = True
+        self.fail_epoch += 1
         self.active = False
+        resilience = getattr(self.sim, "resilience", None)
+        if resilience is not None and not resilience.failover_active():
+            resilience = None
+        # The assignment is nulled below; failover needs the task to re-route.
+        task = self.assignment.task if self.assignment is not None else None
+        if resilience is not None and task is None:
+            resilience = None
         if self._batch_event is not None:
-            if self._columnar:
-                self.sim.notify_drop_ids(self._batch_event.batch[0], reason=reason)
-            else:
-                for query in self._batch_event.batch:
-                    self.sim.notify_drop(query, reason=reason)
+            batch = self._batch_event.batch
             self._batch_event.cancel()
             self._batch_event = None
+            if self._columnar:
+                if resilience is not None:
+                    resilience.requeue_columnar(batch[0], batch[1], task)
+                else:
+                    self.sim.notify_drop_ids(batch[0], reason=reason)
+            elif resilience is not None:
+                resilience.requeue_queries(batch, task)
+            else:
+                for query in batch:
+                    self.sim.notify_drop(query, reason=reason)
         self.busy = False
         if self._columnar:
-            self._drop_columnar_queue(reason)
+            if resilience is not None:
+                head = self._cq_head
+                pending_req = self._cq_req[head:]
+                pending_acc = self._cq_acc[head:]
+                if pending_req:
+                    resilience.requeue_columnar(pending_req, pending_acc, task)
+                del self._cq_req[:]
+                del self._cq_acc[:]
+                del self._cq_arr[:]
+                self._cq_head = 0
+            else:
+                self._drop_columnar_queue(reason)
         else:
-            for stale in list(self.queue):
-                self.sim.notify_drop(stale, reason=reason)
+            if resilience is not None:
+                if self.queue:
+                    resilience.requeue_queries(list(self.queue), task)
+            else:
+                for stale in list(self.queue):
+                    self.sim.notify_drop(stale, reason=reason)
             self.queue.clear()
         self.assignment = None
         self.pending_assignment = None
@@ -413,6 +455,8 @@ class SimWorker:
                 del self._cq_arr[:stop]
                 self._cq_head = 0
             duration_s = assignment.variant.execution_latency_ms(batch_count) / 1000.0
+            if self.slowdown != 1.0:
+                duration_s *= self.slowdown
             self.busy = True
             self.busy_time_s += duration_s
             self._batch_event = self.sim.engine.schedule_event(
@@ -429,6 +473,8 @@ class SimWorker:
         popleft = self.queue.popleft
         batch: List[IntermediateQuery] = [popleft() for _ in range(batch_count)]
         duration_s = assignment.variant.execution_latency_ms(batch_count) / 1000.0
+        if self.slowdown != 1.0:
+            duration_s *= self.slowdown
         self.busy = True
         self.busy_time_s += duration_s
         self._batch_event = self.sim.engine.schedule_event(BatchCompleteEvent(now + duration_s, self, batch))

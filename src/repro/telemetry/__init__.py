@@ -16,7 +16,14 @@ frontend, workers and control planes with one registry per simulation run:
   seeds by the sweep runner.
 """
 
-from repro.telemetry.metrics import Counter, Gauge, Histogram, P2Quantile, WindowedHistogram
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    P2Quantile,
+    Timeline,
+    WindowedHistogram,
+)
 from repro.telemetry.registry import TelemetryRegistry
 
 __all__ = [
@@ -24,6 +31,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "P2Quantile",
+    "Timeline",
     "TelemetryRegistry",
     "WindowedHistogram",
 ]

@@ -12,7 +12,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Tuple
 
-__all__ = ["Counter", "Gauge", "Histogram", "P2Quantile", "WindowedHistogram"]
+__all__ = ["Counter", "Gauge", "Histogram", "P2Quantile", "Timeline", "WindowedHistogram"]
 
 
 class Counter:
@@ -426,3 +426,37 @@ class WindowedHistogram:
 
     def __repr__(self):  # pragma: no cover - debug helper
         return f"WindowedHistogram({self.name}, n={self.count}, windows={self.windows})"
+
+
+class Timeline:
+    """An append-only list of ``(time_s, label)`` events.
+
+    Counters answer "how many"; a timeline answers "what happened when".
+    Fault injection uses one (``faults.timeline``) so tests and policies can
+    reconstruct the exact fail/recover/slowdown sequence of a run.  The flat
+    :meth:`snapshot` only contributes the event count (snapshots must stay
+    ``Dict[str, float]``); the full event list travels on
+    :attr:`repro.simulator.metrics.SimulationSummary.fault_timeline`.
+    """
+
+    __slots__ = ("name", "events")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.events: List[Tuple[float, str]] = []
+
+    def record(self, time_s: float, label: str) -> None:
+        self.events.append((float(time_s), str(label)))
+
+    @property
+    def count(self) -> int:
+        return len(self.events)
+
+    def reset(self) -> None:
+        self.events.clear()
+
+    def snapshot(self) -> Dict[str, float]:
+        return {f"{self.name}.events": float(len(self.events))}
+
+    def __repr__(self):  # pragma: no cover - debug helper
+        return f"Timeline({self.name}, n={len(self.events)})"

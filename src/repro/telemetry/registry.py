@@ -12,11 +12,11 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Union
 
-from repro.telemetry.metrics import Counter, Gauge, Histogram, WindowedHistogram
+from repro.telemetry.metrics import Counter, Gauge, Histogram, Timeline, WindowedHistogram
 
 __all__ = ["TelemetryRegistry"]
 
-Metric = Union[Counter, Gauge, Histogram, WindowedHistogram]
+Metric = Union[Counter, Gauge, Histogram, Timeline, WindowedHistogram]
 
 
 class TelemetryRegistry:
@@ -48,6 +48,9 @@ class TelemetryRegistry:
 
     def windowed_histogram(self, name: str) -> WindowedHistogram:
         return self._get(name, lambda: WindowedHistogram(name), WindowedHistogram)
+
+    def timeline(self, name: str) -> Timeline:
+        return self._get(name, lambda: Timeline(name), Timeline)
 
     # -- introspection ---------------------------------------------------------
     def names(self) -> List[str]:
