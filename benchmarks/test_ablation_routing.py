@@ -19,7 +19,6 @@ import numpy as np
 import pytest
 
 from benchmarks import perf_record
-from benchmarks.conftest import run_once
 from repro.core.allocation import AllocationProblem
 from repro.core.load_balancer import MostAccurateFirst, workers_from_plan
 from repro.zoo import traffic_analysis_pipeline

@@ -14,7 +14,6 @@ Run with::
 
 import sys
 
-import numpy as np
 
 from repro.core import Controller, ControllerConfig
 from repro.core.allocation import AllocationProblem

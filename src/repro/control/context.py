@@ -32,7 +32,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Dict, List, Protocol, Sequence, Tuple, runtime_checkable
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 __all__ = [
     "WorkerView",
@@ -121,7 +121,7 @@ class ClusterView:
     def worker(self, worker_id: str) -> WorkerView:
         return self._by_id[worker_id]
 
-    def get(self, worker_id: str):
+    def get(self, worker_id: str) -> Optional[WorkerView]:
         return self._by_id.get(worker_id)
 
     def by_task(self, task: str) -> Tuple[WorkerView, ...]:

@@ -59,10 +59,9 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.pipeline import AugmentedGraph, Pipeline, PathKey
-from repro.core.profiles import DEFAULT_BATCH_SIZES, ModelVariant
+from repro.core.pipeline import Pipeline, PathKey
+from repro.core.profiles import ModelVariant
 from repro.solver import Model, Solution, solve
-from repro.solver.model import INFEASIBLE, OPTIMAL
 
 __all__ = [
     "Configuration",

@@ -22,10 +22,9 @@ that upstream workers use for opportunistic rerouting (Section 5.2).
 from __future__ import annotations
 
 import inspect
-import math
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -424,12 +423,12 @@ class LoadBalancer:
     ) -> RoutingPlan:
         import time as _time
 
-        start = _time.perf_counter()
+        start = _time.perf_counter()  # reprolint: disable=R002 -- refresh-latency stat is reporting-only
         if self._build_accepts_view:
             plan = self.algorithm.build(workers, demand_qps, multiplicative_factors, view=view)
         else:
             plan = self.algorithm.build(workers, demand_qps, multiplicative_factors)
-        self.last_refresh_time_s = _time.perf_counter() - start
+        self.last_refresh_time_s = _time.perf_counter() - start  # reprolint: disable=R002 -- reporting-only
         self.total_refresh_time_s += self.last_refresh_time_s
         self.refresh_count += 1
         self.current_plan = plan

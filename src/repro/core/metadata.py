@@ -11,8 +11,8 @@ it (through the Controller).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Deque, Dict, List
 
 from repro.core.pipeline import Pipeline
 

@@ -21,8 +21,8 @@ plane is agnostic to where the numbers come from.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 __all__ = ["BatchProfile", "ModelVariant", "ProfileRegistry", "DEFAULT_BATCH_SIZES"]
 

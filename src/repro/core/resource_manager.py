@@ -23,8 +23,8 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from repro.core.allocation import ACCURACY_SCALING, AllocationPlan, AllocationProblem, HARDWARE_SCALING
 from repro.core.metadata import MetadataStore
@@ -294,9 +294,9 @@ class ResourceManager:
                     # auto/scipy path ignores them, and counting a discarded
                     # seed would make the stat lie.
                     self.stats.warm_started_solves += 1
-        start = time.perf_counter()
+        start = time.perf_counter()  # reprolint: disable=R002 -- solve-time stat is reporting-only
         plan = problem.solve(target_qps, preferred_variants=preferred, warm_start=warm_start)
-        self.stats.total_solve_time_s += time.perf_counter() - start
+        self.stats.total_solve_time_s += time.perf_counter() - start  # reprolint: disable=R002 -- reporting-only
         self.stats.milp_solves += 1
         return plan
 

@@ -13,7 +13,7 @@ clock per pool slot instead of ``systems x seeds`` serial runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.core.allocation import AllocationProblem
 from repro.core.pipeline import Pipeline

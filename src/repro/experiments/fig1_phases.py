@@ -16,12 +16,12 @@ exactly the information plotted in Figure 1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.allocation import ACCURACY_SCALING, AllocationProblem, HARDWARE_SCALING
+from repro.core.allocation import AllocationProblem, HARDWARE_SCALING
 from repro.core.pipeline import Pipeline
 from repro.experiments.common import format_table
 from repro.scenarios import SweepRunner

@@ -17,7 +17,6 @@ paper's setup.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.experiments.endtoend import ComparisonResult, print_comparison, run_comparison
 from repro.workloads import azure_like_trace

@@ -11,8 +11,8 @@ paper does not have because it only uses Gurobi).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
 from repro.core.allocation import AllocationProblem
 from repro.core.load_balancer import MostAccurateFirst, workers_from_plan

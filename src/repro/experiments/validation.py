@@ -14,7 +14,7 @@ the plans the control plane produces.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.core import ControllerConfig
 from repro.experiments.common import format_table

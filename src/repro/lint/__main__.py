@@ -1,0 +1,11 @@
+"""``python -m repro.lint`` entry point."""
+
+import sys
+
+from repro.lint.cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `--list-rules | head`
+        sys.exit(0)

@@ -1,0 +1,107 @@
+"""Reporters: render a :class:`~repro.lint.engine.LintResult` for humans/CI.
+
+* ``text`` — compiler-style ``path:line:col: RULE message`` lines plus a
+  summary; what developers read locally.
+* ``json`` — the full result as one JSON document; what tooling consumes.
+* ``markdown`` — a findings table + per-rule counts; appended to the GitHub
+  Actions job summary by the CI lint job.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import List
+
+from repro.lint.engine import LintResult
+from repro.lint.registry import Finding
+
+__all__ = ["render", "FORMATS"]
+
+
+def _text(result: LintResult) -> str:
+    lines: List[str] = []
+    for finding in result.active:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col + 1}: "
+            f"{finding.rule} {finding.message}"
+        )
+    if result.stale_baseline:
+        for entry in result.stale_baseline:
+            lines.append(
+                f"warning: stale baseline entry {entry.rule} for {entry.path} "
+                f"({entry.code!r}) no longer matches anything — remove it"
+            )
+    summary = (
+        f"{len(result.active)} finding(s) in {result.files_checked} file(s)"
+        f" ({len(result.suppressed)} suppressed inline,"
+        f" {len(result.grandfathered)} grandfathered by baseline)"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _finding_dict(finding: Finding) -> dict:
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+        "code": finding.code,
+    }
+
+
+def _json(result: LintResult) -> str:
+    return json.dumps(
+        {
+            "files_checked": result.files_checked,
+            "clean": result.clean,
+            "findings": [_finding_dict(f) for f in result.active],
+            "suppressed": [_finding_dict(f) for f in result.suppressed],
+            "grandfathered": [_finding_dict(f) for f in result.grandfathered],
+            "stale_baseline": [
+                {"rule": e.rule, "path": e.path, "code": e.code, "note": e.note}
+                for e in result.stale_baseline
+            ],
+        },
+        indent=2,
+    )
+
+
+def _markdown(result: LintResult) -> str:
+    lines = ["### repro.lint"]
+    status = "clean ✅" if result.clean else f"**{len(result.active)} finding(s)** ❌"
+    lines.append(
+        f"- {status} over {result.files_checked} files "
+        f"({len(result.suppressed)} suppressed, "
+        f"{len(result.grandfathered)} baselined, "
+        f"{len(result.stale_baseline)} stale baseline entries)"
+    )
+    if result.active:
+        lines.append("")
+        lines.append("| rule | location | message |")
+        lines.append("|---|---|---|")
+        for finding in result.active:
+            message = finding.message.replace("|", "\\|")
+            lines.append(
+                f"| {finding.rule} | `{finding.path}:{finding.line}` | {message} |"
+            )
+    counts = Counter(f.rule for f in result.active)
+    if counts:
+        lines.append("")
+        lines.append(
+            "per rule: "
+            + ", ".join(f"{rule}×{count}" for rule, count in sorted(counts.items()))
+        )
+    return "\n".join(lines)
+
+
+FORMATS = {"text": _text, "json": _json, "markdown": _markdown}
+
+
+def render(result: LintResult, fmt: str = "text") -> str:
+    try:
+        return FORMATS[fmt](result)
+    except KeyError:
+        raise ValueError(f"unknown format {fmt!r}; expected one of {sorted(FORMATS)}")

@@ -1,0 +1,171 @@
+"""R003 hash-order: no order-sensitive iteration over sets in plan code.
+
+Set iteration order depends on insertion history and element hashes — and
+for ``str`` keys, on ``PYTHONHASHSEED``, which varies per process.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.lint.registry import (
+    Finding,
+    ParsedFile,
+    Rule,
+    iter_scopes,
+    register_rule,
+    scope_walk,
+)
+
+#: consumers for which element order cannot matter
+ORDER_SAFE_CALLS = {
+    "sorted", "min", "max", "sum", "len", "any", "all", "set", "frozenset",
+    "bool", "Counter",
+}
+#: consumers that materialize / iterate in set order — the hazard
+ORDER_SENSITIVE_CALLS = {"list", "tuple", "enumerate", "zip", "map", "iter", "reversed", "next"}
+#: set methods whose result is itself a set
+SET_PRODUCING_METHODS = {"union", "intersection", "difference", "symmetric_difference", "copy"}
+
+
+class _SetExprs:
+    """Lexical set-typed expression tracking within one scope."""
+
+    def __init__(self, scope_body: List[ast.stmt]):
+        self.names: Set[str] = set()
+        # Single forward pass: a name assigned a set expression is set-typed
+        # until reassigned to something else.  (Lexical, not flow-sensitive —
+        # good enough for the straight-line plan-construction code in scope.)
+        for stmt in scope_body:
+            for node in scope_walk([stmt]):
+                if isinstance(node, ast.Assign):
+                    targets = [t for t in node.targets if isinstance(t, ast.Name)]
+                    for target in targets:
+                        if self.is_set(node.value):
+                            self.names.add(target.id)
+                        else:
+                            self.names.discard(target.id)
+                elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                    annotation = ast.unparse(node.annotation) if node.annotation else ""
+                    if annotation.split("[")[0].strip().lower().endswith("set"):
+                        self.names.add(node.target.id)
+                elif isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Name):
+                    if node.target.id in self.names and not isinstance(
+                        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+                    ):
+                        self.names.discard(node.target.id)
+
+    def is_set(self, node: Optional[ast.expr]) -> bool:
+        if node is None:
+            return False
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+                return True
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in SET_PRODUCING_METHODS
+                and self.is_set(node.func.value)
+            ):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self.is_set(node.left) or self.is_set(node.right)
+        return False
+
+
+@register_rule
+class HashOrderRule(Rule):
+    """R003 hash-order: iteration over sets must pass through ``sorted``.
+
+    History: PR 3 shipped (and then fixed) exactly this bug in
+    ``core/allocation.py`` — coupling constraints were emitted while
+    iterating an unordered collection of string keys, so the MILP's row
+    order (and therefore simplex pivoting, tie-breaking, and the final fig5
+    plans) varied with ``PYTHONHASHSEED`` from process to process.  Sweeps
+    that claimed serial==parallel bit-identity were only identical because
+    forked workers inherit the parent's hash seed.  In ``solver/``,
+    ``control/`` and ``core/`` — everything that feeds plan or constraint
+    emission — any set must be consumed through ``sorted(...)`` (or another
+    order-insensitive reduction) before its order can leak into output.
+    Dicts are deliberately not flagged: CPython dicts iterate in insertion
+    order, which is deterministic when the insertions are.
+    """
+
+    id = "R003"
+    name = "hash-order"
+    scope = (
+        "src/repro/solver/*",
+        "src/repro/control/*",
+        "src/repro/core/*",
+    )
+
+    _MESSAGE = (
+        "iteration order of a set depends on PYTHONHASHSEED; wrap in sorted(...) "
+        "before it can influence plan/constraint emission"
+    )
+
+    def check(self, file: ParsedFile) -> Iterator[Finding]:
+        parents = file.parents
+        reported: Set[int] = set()
+
+        def flag(node: ast.AST) -> Iterator[Finding]:
+            key = id(node)
+            if key not in reported:
+                reported.add(key)
+                yield self.finding(file, node, self._MESSAGE)
+
+        for scope, body in iter_scopes(file.tree):
+            sets = _SetExprs(body)
+            for stmt in body:
+                for node in scope_walk([stmt]):
+                    # for x in <set>:
+                    if isinstance(node, ast.For) and sets.is_set(node.iter):
+                        yield from flag(node.iter)
+                    # comprehensions over sets (including nested generators)
+                    elif isinstance(node, ast.comprehension) and sets.is_set(node.iter):
+                        # A set comprehension / set() call over a set is fine:
+                        # the result is itself unordered until consumed.
+                        comp = parents.get(node)
+                        if not isinstance(comp, ast.SetComp) and not (
+                            isinstance(comp, ast.GeneratorExp)
+                            and self._generator_consumer_safe(comp, parents)
+                        ):
+                            yield from flag(node.iter)
+                    elif isinstance(node, ast.Call):
+                        yield from self._check_call(file, node, sets, parents, flag)
+                    # *star-unpacking a set into an ordered literal
+                    elif isinstance(node, ast.Starred) and sets.is_set(node.value):
+                        if isinstance(parents.get(node), (ast.List, ast.Tuple)):
+                            yield from flag(node.value)
+
+    def _check_call(self, file, node, sets, parents, flag) -> Iterator[Finding]:
+        func = node.func
+        # list(<set>) / tuple(<set>) / enumerate(<set>) / zip(.., <set>) ...
+        if isinstance(func, ast.Name) and func.id in ORDER_SENSITIVE_CALLS:
+            for arg in node.args:
+                if sets.is_set(arg):
+                    yield from flag(arg)
+        # "sep".join(<set>)
+        elif isinstance(func, ast.Attribute) and func.attr == "join":
+            for arg in node.args:
+                if sets.is_set(arg):
+                    yield from flag(arg)
+        # <set>.pop() takes an arbitrary (hash-ordered) element
+        elif isinstance(func, ast.Attribute) and func.attr == "pop" and sets.is_set(func.value):
+            if not node.args:
+                yield from flag(node)
+
+    @staticmethod
+    def _generator_consumer_safe(comp: ast.GeneratorExp, parents) -> bool:
+        """sorted(x for x in some_set) and friends are order-insensitive."""
+        parent = parents.get(comp)
+        if isinstance(parent, ast.Call) and isinstance(parent.func, ast.Name):
+            return parent.func.id in ORDER_SAFE_CALLS
+        return False

@@ -1,0 +1,164 @@
+"""R004 hot-path-alloc: keep the columnar hot paths object-free.
+
+PR 7/8 bought their ~1.5-3x by moving the event core and request lifecycle
+onto NumPy columns; one per-event Python allocation quietly added to a bulk
+handler gives most of it back.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Optional, Tuple
+
+from repro.lint.registry import (
+    Finding,
+    ParsedFile,
+    Rule,
+    register_rule,
+    terminal_name,
+)
+from repro.lint.rules.determinism import RNG_DRAW_METHODS
+
+#: constructor-looking call targets: CamelCase with a lowercase tail
+_CLASS_NAME_RE = re.compile(r"^_?[A-Z][a-zA-Z0-9]*[a-z][a-zA-Z0-9]*$")
+
+#: builtins cheap enough not to flag even per-element
+_ALLOWED_CALLS = {"int", "float", "str", "bool", "len", "min", "max", "abs", "round"}
+
+
+def hot_function_spans(file: ParsedFile) -> Tuple[List[Tuple[int, int, str]], List[int]]:
+    """Resolve ``# reprolint: hot-path`` markers to function line spans.
+
+    A marker attaches to the ``def`` it trails, or to the ``def`` (or its
+    first decorator) starting on the next line.  Returns the resolved
+    ``(first_line, last_line, name)`` spans and any dangling marker lines.
+    """
+    functions = []
+    for node in ast.walk(file.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            start = min([node.lineno] + [d.lineno for d in node.decorator_list])
+            functions.append((start, node.lineno, node.end_lineno or node.lineno, node.name))
+
+    spans: List[Tuple[int, int, str]] = []
+    dangling: List[int] = []
+    for marker in file.hot_markers:
+        matched = None
+        for start, def_line, end, name in functions:
+            if def_line == marker or start == marker + 1:
+                matched = (min(start, marker), end, name)
+                break
+        if matched is None:
+            dangling.append(marker)
+        else:
+            spans.append(matched)
+    return spans, dangling
+
+
+@register_rule
+class HotPathAllocRule(Rule):
+    """R004 hot-path-alloc: no per-element Python work in marked hot regions.
+
+    History: the columnar calendar (PR 7) and the object-free request table
+    (PR 8) exist because profiling showed per-event object construction and
+    ``.append`` loops dominating the event core — the BENCH_throughput.json
+    reference numbers (``request_table_events_per_s`` ~1.5x the object path)
+    die by a thousand "just one small loop" cuts.  Functions carrying a
+    ``# reprolint: hot-path`` marker are the measured per-event code; inside
+    them this rule flags (a) ``.append`` calls under a loop, (b) per-element
+    construction of CamelCase classes under a loop, and (c) scalar RNG draws
+    (no ``size=``) under a loop where one vectorized draw would do.  The
+    designated columnar modules must contain at least one marker so the
+    protection cannot be silently dropped in a refactor.  Setup/amortized
+    loops inside a hot function (bucket activation, capacity growth) are
+    suppressed inline where reviewed.
+    """
+
+    id = "R004"
+    name = "hot-path-alloc"
+    scope = ("src/repro/*", "src/repro/**/*")
+
+    #: modules whose bulk handlers ARE the measured hot path; each must keep
+    #: at least one ``# reprolint: hot-path`` marker
+    designated_modules = (
+        "src/repro/simulator/calendar.py",
+        "src/repro/simulator/query.py",
+        "src/repro/simulator/worker.py",
+        "src/repro/simulator/frontend.py",
+    )
+
+    def check(self, file: ParsedFile) -> Iterator[Finding]:
+        spans, dangling = hot_function_spans(file)
+        for marker in dangling:
+            yield Finding(
+                rule=self.id, path=file.path, line=marker, col=0,
+                message="dangling '# reprolint: hot-path' marker: no function "
+                        "definition starts on the next line",
+            ).with_code(file.lines)
+
+        if file.path in self.designated_modules and not file.hot_markers:
+            yield Finding(
+                rule=self.id, path=file.path, line=1, col=0,
+                message="designated hot-path module has no '# reprolint: hot-path' "
+                        "markers; mark its bulk handlers so allocation creep is "
+                        "caught",
+            ).with_code(file.lines)
+
+        if not spans:
+            return
+
+        for node in ast.walk(file.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            span = next(
+                (s for s in spans if s[0] <= node.lineno <= s[1] and s[2] == node.name), None
+            )
+            if span is not None:
+                yield from self._check_hot_function(file, node)
+
+    def _check_hot_function(
+        self, file: ParsedFile, func: ast.AST
+    ) -> Iterator[Finding]:
+        def visit(node: ast.AST, loop_depth: int) -> Iterator[Finding]:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.Raise, ast.Assert)):
+                    continue  # exceptional paths are not the hot path
+                depth = loop_depth + (1 if isinstance(child, (ast.For, ast.While)) else 0)
+                if depth > 0 and isinstance(child, ast.Call):
+                    finding = self._check_call(file, child)
+                    if finding is not None:
+                        yield finding
+                yield from visit(child, depth)
+
+        yield from visit(func, 0)
+
+    def _check_call(self, file: ParsedFile, node: ast.Call) -> Optional[Finding]:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr == "append":
+                return self.finding(
+                    file, node,
+                    "per-element .append in a hot-path loop; build the batch with a "
+                    "vectorized column store / list(map(...)) instead",
+                )
+            if (
+                func.attr in RNG_DRAW_METHODS
+                and terminal_name(func.value) == "rng"
+                and not any(kw.arg == "size" for kw in node.keywords)
+                and len(node.args) < 3
+            ):
+                return self.finding(
+                    file, node,
+                    f"scalar rng.{func.attr} draw inside a hot-path loop; draw the "
+                    "whole batch with one size=n call",
+                )
+        elif isinstance(func, ast.Name):
+            if func.id in _ALLOWED_CALLS:
+                return None
+            if _CLASS_NAME_RE.match(func.id):
+                return self.finding(
+                    file, node,
+                    f"per-element {func.id}(...) construction inside a hot-path "
+                    "loop; hot paths are object-free (columnar rows / bulk map)",
+                )
+        return None

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Optional, Tuple, Union
 
 from repro.baselines import BaselineControlPlane, InferLineControlPlane, ProteusControlPlane
 from repro.core import Controller, ControllerConfig

@@ -157,9 +157,9 @@ class SweepResult:
 def _run_grid_job(payload: Tuple[ScenarioSpec, int]) -> RunRecord:
     """Top-level worker-process entry point (must stay picklable)."""
     spec, seed = payload
-    start = time.perf_counter()
+    start = time.perf_counter()  # reprolint: disable=R002 -- wall_s is reporting-only; results never depend on it
     summary = spec.run(seed)
-    return RunRecord(scenario=spec.name, seed=seed, summary=summary, wall_s=time.perf_counter() - start)
+    return RunRecord(scenario=spec.name, seed=seed, summary=summary, wall_s=time.perf_counter() - start)  # reprolint: disable=R002 -- reporting-only
 
 
 class SweepRunner:

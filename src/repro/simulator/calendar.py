@@ -243,6 +243,7 @@ class CalendarQueue:
                 self._unsorted.add(bucket)
             existing.append(entry)
 
+    # reprolint: hot-path
     def _place_bulk(self, entries, bucket_ids: List[int]) -> None:
         """Drop pre-built ``(time, seq, handle, kind)`` entries into buckets.
 
@@ -262,6 +263,7 @@ class CalendarQueue:
             if bucket == last_bucket:
                 if entry < last_segment[-1]:
                     unsorted.add(bucket)
+                # reprolint: disable-next-line=R004 -- one prebuilt tuple onto a C-list bucket IS the calendar's insert primitive
                 last_segment.append(entry)
                 continue
             if bucket <= cur:
@@ -273,10 +275,12 @@ class CalendarQueue:
                 heappush(bucket_heap, bucket)
             elif entry < segment[-1]:
                 unsorted.add(bucket)
+            # reprolint: disable-next-line=R004 -- one prebuilt tuple onto a C-list bucket IS the calendar's insert primitive
             segment.append(entry)
             last_bucket = bucket
             last_segment = segment
 
+    # reprolint: hot-path
     def _place_bulk_grouped(self, entries: list, sorted_buckets: np.ndarray) -> None:
         """Place a (time, seq)-sorted entry list with one dict probe per bucket.
 
@@ -313,6 +317,7 @@ class CalendarQueue:
                 existing.extend(segment)
 
     # -- EventQueue-compatible API ----------------------------------------------
+    # reprolint: hot-path
     def push(self, event: Event) -> Event:
         """Add a pre-constructed event to the calendar."""
         time_s = event.time_s
@@ -401,6 +406,7 @@ class CalendarQueue:
             self._place_bulk(entries, bucket_arr.tolist())
 
     # -- columnar API ------------------------------------------------------------
+    # reprolint: hot-path
     def push_columnar(self, times, kind: int, payloads1, payloads2=None, payloads3=None) -> np.ndarray:
         """Bulk-load object-free rows: one per ``times[i]`` with payload columns.
 
@@ -581,6 +587,7 @@ class CalendarQueue:
             self._pos += 1
         self._live -= 1
 
+    # reprolint: hot-path
     def _take_run(self, kind: int, tmax: float, limit, head=None):
         """Claim a run of live same-``kind`` entries from the front.
 
@@ -638,6 +645,7 @@ class CalendarQueue:
                 if not is_columnar:
                     obj_col[h0]._queue = None
                 alive[h0] = 0
+                # reprolint: disable-next-line=R004 -- spill-heap drain: rare mid-run pushes only; bucket runs use C-level slices
                 run.append((t0, s0, h0, kind))
                 spill = self._spill
                 if not spill:
@@ -701,6 +709,7 @@ class CalendarQueue:
             self._live += 1
             heappush(spill, (t, s, h))
 
+    # reprolint: hot-path
     def pop(self) -> Optional[Event]:
         """Pop the next live *object* event (columnar rows drain via the engine)."""
         while True:
@@ -890,6 +899,7 @@ class CalendarEngine:
             self.now_s = until_s
         return self.now_s
 
+    # reprolint: hot-path
     def _run_object_entries(self, entries, start: int, stop: int) -> int:
         """Execute a claimed run of event objects; returns how many ran.
 

@@ -21,7 +21,7 @@ Two dispatch paths coexist:
 from __future__ import annotations
 
 from itertools import repeat
-from typing import Dict, Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -99,6 +99,7 @@ class Frontend:
         return request
 
     # -- batched client API ----------------------------------------------------
+    # reprolint: hot-path
     def submit_burst(self, times) -> None:
         """A whole chunk of client queries arrives; route them in one batch.
 
@@ -172,6 +173,7 @@ class Frontend:
         )
         sim.engine.preload(deliveries)
 
+    # reprolint: hot-path
     def _submit_burst_columnar(self, times, count: int, root_task: str) -> None:
         """Object-free burst ingestion for ``request_path="columnar"``.
 
@@ -217,6 +219,7 @@ class Frontend:
             [1.0] * count,
         )
 
+    # reprolint: hot-path
     def _materialize_chunk(self, times_list, root_task):
         """Requests plus their root queries for a whole arrival chunk.
 

@@ -12,8 +12,7 @@ violates its SLO when any derived query finishes late or is dropped
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -71,7 +70,7 @@ class Request:
         "sink_results",
     )
 
-    def __init__(self, request_id: int, arrival_s: float, slo_ms: float, outstanding: int = 0):
+    def __init__(self, request_id: int, arrival_s: float, slo_ms: float, outstanding: int = 0) -> None:
         self.request_id = request_id
         self.arrival_s = arrival_s
         self.deadline_s = arrival_s + slo_ms / 1000.0
@@ -196,7 +195,7 @@ class RequestTable:
         "_cap",
     )
 
-    def __init__(self, capacity: int = 4096):
+    def __init__(self, capacity: int = 4096) -> None:
         cap = max(int(capacity), 16)
         self._cap = cap
         #: rows in use; request ids are dense ``[0, size)``
@@ -233,7 +232,8 @@ class RequestTable:
         self._cap = cap
 
     # -- bulk production -------------------------------------------------------
-    def add_requests(self, times, slo_ms: float) -> int:
+    # reprolint: hot-path
+    def add_requests(self, times: "np.ndarray", slo_ms: float) -> int:
         """Rows for a whole arrival chunk; returns the first new request id.
 
         Every row starts with ``outstanding == 1`` (its root query), exactly
@@ -336,7 +336,7 @@ class IntermediateQuery:
         "overrun_ms",
     )
 
-    def __init__(self, query_id: int, request: Request, task: str, created_s: float, accuracy_so_far: float = 1.0):
+    def __init__(self, query_id: int, request: Request, task: str, created_s: float, accuracy_so_far: float = 1.0) -> None:
         self.query_id = query_id
         self.request = request
         self.task = task
@@ -349,5 +349,5 @@ class IntermediateQuery:
     def remaining_slo_ms(self, now_s: float) -> float:
         return self.request.remaining_slo_ms(now_s)
 
-    def __repr__(self):  # pragma: no cover - debug helper
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"IntermediateQuery(id={self.query_id}, task={self.task!r}, request={self.request.request_id})"

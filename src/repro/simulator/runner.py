@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Protocol, Tuple
 import numpy as np
 
 from repro.core.allocation import AllocationPlan
-from repro.core.dropping import DropAction, DropPolicy, make_drop_policy
+from repro.core.dropping import DropPolicy, make_drop_policy
 from repro.core.load_balancer import BackupEntry, RoutingPlan, RoutingTable
 from repro.core.pipeline import Pipeline
 from repro.simulator.calendar import (

@@ -378,6 +378,7 @@ class SimWorker:
         if not self.busy:
             self._maybe_start_batch()
 
+    # reprolint: hot-path
     def _enqueue_columnar(self, req: int, accuracy: float) -> None:
         """A columnar delivery row arrives (already includes network delay).
 
@@ -525,6 +526,7 @@ class SimWorker:
         if self.queue:
             self._maybe_start_batch()
 
+    # reprolint: hot-path
     def _complete_batch_columnar(self, batch) -> None:
         """Batch completion on the columnar request path.
 
@@ -601,6 +603,7 @@ class SimWorker:
         request.record_internal_completion(now_s)
         self.sim.check_request(request)
 
+    # reprolint: hot-path
     def _dispatch_batch(
         self,
         batch: List[IntermediateQuery],
@@ -663,10 +666,14 @@ class SimWorker:
             time_in_task = [(now_s - q.worker_arrival_s) * 1000.0 for q in batch]
             consult_any = False
             consult = []
+            # reprolint: disable=R004
+            # Per-parent scalar probe is the DropPolicy API; within-budget
+            # parents short-circuit and the loop is bounded by batch size.
             for t in time_in_task:
                 flag = needs_decision(t, budget_ms)
                 consult_any = consult_any or flag
                 consult.append(flag)
+            # reprolint: enable=R004
             chunk = sim.config.batch_route_chunk
             # Deliveries accumulate as parallel columns (time, target, child)
             # and materialise once at the end: RoutedDeliveryEvent objects for
@@ -766,9 +773,14 @@ class SimWorker:
                             target_id = decision.target.worker_id
                         else:
                             target_id = group_entries[slot].worker_id
+                        # reprolint: disable=R004
+                        # Overrun-parent slow path: only parents past their
+                        # latency budget take per-child decisions; the common
+                        # within-budget case extends columns in bulk above.
                         out_times.append(delivery_times[offset + slot])
                         out_targets.append(target_id)
                         out_children.append(child)
+                        # reprolint: enable=R004
                     offset = stop
             sim._next_query_id = query_id
             if out_times:
@@ -789,6 +801,7 @@ class SimWorker:
             request.record_internal_completion(now_s)
             check_request(request)
 
+    # reprolint: hot-path
     def _dispatch_batch_columnar(
         self,
         reqs: List[int],
@@ -841,10 +854,14 @@ class SimWorker:
             time_in_task = [(now_s - a) * 1000.0 for a in arrs]
             consult_any = False
             consult = []
+            # reprolint: disable=R004
+            # Per-parent scalar probe is the DropPolicy API; within-budget
+            # parents short-circuit and the loop is bounded by batch size.
             for t in time_in_task:
                 flag = needs_decision(t, budget_ms)
                 consult_any = consult_any or flag
                 consult.append(flag)
+            # reprolint: enable=R004
             chunk = sim.config.batch_route_chunk
             deadline_s = table.deadline_s  # no add_requests during a dispatch
             out_times: List[float] = []
@@ -925,10 +942,14 @@ class SimWorker:
                             target_id = decision.target.worker_id
                         else:
                             target_id = group_entries[slot].worker_id
+                        # reprolint: disable=R004
+                        # Overrun-parent slow path, columnar flavour: bulk
+                        # column extends handle the within-budget majority.
                         out_times.append(delivery_times[k])
                         out_targets.append(target_id)
                         out_reqs.append(child_reqs[k])
                         out_accs.append(child_accs[k])
+                        # reprolint: enable=R004
                     offset = stop
             if out_times:
                 sim.engine.push_columnar(
@@ -955,6 +976,7 @@ class SimWorker:
             )
             sim.metrics.record_finished_ids(table, finished)
 
+    # reprolint: hot-path
     def _forward_columnar(
         self,
         req: int,

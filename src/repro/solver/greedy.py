@@ -22,7 +22,6 @@ infeasible.
 
 from __future__ import annotations
 
-import math
 import time
 from typing import Optional
 

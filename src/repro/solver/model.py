@@ -19,7 +19,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -44,6 +44,15 @@ UNBOUNDED = "unbounded"
 ERROR = "error"
 
 Number = Union[int, float]
+
+#: anything the algebra can combine with a variable or expression
+ExprLike = Union["LinExpr", "Variable", int, float]
+
+#: dense assignment vectors accepted by evaluation helpers
+VectorLike = Union[Sequence[float], np.ndarray]
+
+#: ``(c, A_ub, b_ub, A_eq, b_eq, integrality)`` minimisation matrices
+StandardForm = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
 
 
 class SolverError(RuntimeError):
@@ -84,16 +93,16 @@ class Variable:
     def to_expr(self) -> "LinExpr":
         return LinExpr({self.index: 1.0}, 0.0)
 
-    def __add__(self, other):
+    def __add__(self, other: ExprLike) -> "LinExpr":
         return self.to_expr() + other
 
-    def __radd__(self, other):
+    def __radd__(self, other: ExprLike) -> "LinExpr":
         return self.to_expr() + other
 
-    def __sub__(self, other):
+    def __sub__(self, other: ExprLike) -> "LinExpr":
         return self.to_expr() - other
 
-    def __rsub__(self, other):
+    def __rsub__(self, other: ExprLike) -> "LinExpr":
         return (-1.0) * self.to_expr() + other
 
     def __mul__(self, coeff: Number) -> "LinExpr":
@@ -105,21 +114,21 @@ class Variable:
     def __neg__(self) -> "LinExpr":
         return self.to_expr() * -1.0
 
-    def __le__(self, other):
+    def __le__(self, other: ExprLike) -> "Constraint":
         return self.to_expr() <= other
 
-    def __ge__(self, other):
+    def __ge__(self, other: ExprLike) -> "Constraint":
         return self.to_expr() >= other
 
-    def __eq__(self, other):  # type: ignore[override]
+    def __eq__(self, other: object) -> object:  # type: ignore[override]
         if isinstance(other, Variable):
             return self.index == other.index
-        return self.to_expr() == other
+        return self.to_expr() == other  # type: ignore[arg-type]
 
-    def __hash__(self):
+    def __hash__(self) -> int:
         return hash(("Variable", self.index))
 
-    def __repr__(self):  # pragma: no cover - debug helper
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
         kind = "int" if self.integer else "cont"
         return f"Variable({self.name!r}, [{self.lb}, {self.ub}], {kind})"
 
@@ -129,7 +138,7 @@ class LinExpr:
 
     __slots__ = ("coeffs", "constant")
 
-    def __init__(self, coeffs: Optional[Mapping[int, float]] = None, constant: float = 0.0):
+    def __init__(self, coeffs: Optional[Mapping[int, float]] = None, constant: float = 0.0) -> None:
         self.coeffs: Dict[int, float] = dict(coeffs) if coeffs else {}
         self.constant = float(constant)
 
@@ -152,7 +161,7 @@ class LinExpr:
         return LinExpr(self.coeffs, self.constant)
 
     # -- algebra ---------------------------------------------------------
-    def _coerce(self, other) -> "LinExpr":
+    def _coerce(self, other: ExprLike) -> "LinExpr":
         if isinstance(other, LinExpr):
             return other
         if isinstance(other, Variable):
@@ -161,7 +170,7 @@ class LinExpr:
             return LinExpr(constant=float(other))
         raise TypeError(f"cannot combine LinExpr with {type(other)!r}")
 
-    def __add__(self, other) -> "LinExpr":
+    def __add__(self, other: ExprLike) -> "LinExpr":
         other = self._coerce(other)
         result = self.copy()
         for idx, coeff in other.coeffs.items():
@@ -171,10 +180,10 @@ class LinExpr:
 
     __radd__ = __add__
 
-    def __sub__(self, other) -> "LinExpr":
+    def __sub__(self, other: ExprLike) -> "LinExpr":
         return self + (self._coerce(other) * -1.0)
 
-    def __rsub__(self, other) -> "LinExpr":
+    def __rsub__(self, other: ExprLike) -> "LinExpr":
         return self._coerce(other) + (self * -1.0)
 
     def __mul__(self, coeff: Number) -> "LinExpr":
@@ -188,30 +197,30 @@ class LinExpr:
         return self * -1.0
 
     # -- relational operators produce constraints ------------------------
-    def __le__(self, other) -> "Constraint":
+    def __le__(self, other: ExprLike) -> "Constraint":
         rhs = self._coerce(other)
         return Constraint(self - rhs, Sense.LE, 0.0)
 
-    def __ge__(self, other) -> "Constraint":
+    def __ge__(self, other: ExprLike) -> "Constraint":
         rhs = self._coerce(other)
         return Constraint(self - rhs, Sense.GE, 0.0)
 
-    def __eq__(self, other) -> "Constraint":  # type: ignore[override]
-        rhs = self._coerce(other)
+    def __eq__(self, other: object) -> "Constraint":  # type: ignore[override]
+        rhs = self._coerce(other)  # type: ignore[arg-type]
         return Constraint(self - rhs, Sense.EQ, 0.0)
 
-    def __hash__(self):  # pragma: no cover - LinExpr is not meant to be hashed
+    def __hash__(self) -> int:  # pragma: no cover - LinExpr is not meant to be hashed
         raise TypeError("LinExpr objects are unhashable")
 
     # -- evaluation -------------------------------------------------------
-    def value(self, assignment: Sequence[float]) -> float:
+    def value(self, assignment: VectorLike) -> float:
         """Evaluate the expression at the given variable assignment."""
         total = self.constant
         for idx, coeff in self.coeffs.items():
             total += coeff * assignment[idx]
         return total
 
-    def __repr__(self):  # pragma: no cover - debug helper
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
         terms = " + ".join(f"{c:g}*x{i}" for i, c in sorted(self.coeffs.items()))
         return f"LinExpr({terms} + {self.constant:g})"
 
@@ -235,7 +244,7 @@ class Constraint:
         rhs = self.rhs - self.expr.constant
         return coeffs, self.sense, rhs
 
-    def violation(self, assignment: Sequence[float], tol: float = 1e-7) -> float:
+    def violation(self, assignment: VectorLike, tol: float = 1e-7) -> float:
         """Amount by which the constraint is violated at ``assignment`` (0 if satisfied)."""
         lhs = self.expr.value(assignment)
         if self.sense is Sense.LE:
@@ -289,7 +298,7 @@ class Model:
         sol = solve(m)
     """
 
-    def __init__(self, name: str = "model"):
+    def __init__(self, name: str = "model") -> None:
         self.name = name
         self.variables: List[Variable] = []
         self.constraints: List[Constraint] = []
@@ -299,7 +308,7 @@ class Model:
         self._names: Dict[str, Variable] = {}
         #: bumped on every structural change; invalidates the matrix caches
         self._revision: int = 0
-        self._standard_form_cache: Optional[Tuple[int, Tuple[np.ndarray, ...]]] = None
+        self._standard_form_cache: Optional[Tuple[int, StandardForm]] = None
         self._bounds_cache: Optional[Tuple[int, Tuple[np.ndarray, np.ndarray]]] = None
 
     # -- building ---------------------------------------------------------
@@ -321,7 +330,7 @@ class Model:
         self._revision += 1
         return var
 
-    def add_vars(self, names: Iterable[str], **kwargs) -> List[Variable]:
+    def add_vars(self, names: Iterable[str], **kwargs: Any) -> List[Variable]:
         return [self.add_var(name, **kwargs) for name in names]
 
     def get_var(self, name: str) -> Variable:
@@ -339,7 +348,7 @@ class Model:
         return constraint
 
     def add_constraints(self, constraints: Iterable[Constraint], prefix: str = "c") -> List[Constraint]:
-        added = []
+        added: List[Constraint] = []
         for i, con in enumerate(constraints):
             added.append(self.add_constraint(con, name=f"{prefix}{len(self.constraints)}"))
         return added
@@ -377,7 +386,7 @@ class Model:
         self._bounds_cache = (self._revision, (lbs, ubs))
         return lbs, ubs
 
-    def to_standard_form(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    def to_standard_form(self) -> StandardForm:
         """Return ``(c, A_ub, b_ub, A_eq, b_eq, integrality)`` for *minimisation*.
 
         The objective vector ``c`` is already adjusted for maximisation
@@ -397,7 +406,10 @@ class Model:
             c[idx] = coeff
         c = c * self.objective_sign
 
-        ub_rows, ub_rhs, eq_rows, eq_rhs = [], [], [], []
+        ub_rows: List[np.ndarray] = []
+        ub_rhs: List[float] = []
+        eq_rows: List[np.ndarray] = []
+        eq_rhs: List[float] = []
         for con in self.constraints:
             coeffs, sense, rhs = con.normalised()
             row = np.zeros(n)
@@ -427,25 +439,25 @@ class Model:
         return self.objective.value(x) if len(x) else math.nan
 
     # -- checking ----------------------------------------------------------
-    def is_feasible_point(self, x: Sequence[float], tol: float = 1e-6) -> bool:
+    def is_feasible_point(self, x: VectorLike, tol: float = 1e-6) -> bool:
         """Check bounds, integrality and constraints at ``x``."""
-        x = np.asarray(x, dtype=float)
-        if x.shape != (self.num_vars,):
+        arr = np.asarray(x, dtype=float)
+        if arr.shape != (self.num_vars,):
             return False
         for var in self.variables:
-            if x[var.index] < var.lb - tol or x[var.index] > var.ub + tol:
+            if arr[var.index] < var.lb - tol or arr[var.index] > var.ub + tol:
                 return False
-            if var.integer and abs(x[var.index] - round(x[var.index])) > tol:
+            if var.integer and abs(arr[var.index] - round(arr[var.index])) > tol:
                 return False
-        return all(con.violation(x, tol) == 0.0 for con in self.constraints)
+        return all(con.violation(arr, tol) == 0.0 for con in self.constraints)
 
-    def make_solution(self, x: np.ndarray, status: str = OPTIMAL, **info) -> Solution:
+    def make_solution(self, x: np.ndarray, status: str = OPTIMAL, **info: Any) -> Solution:
         """Package a raw assignment into a :class:`Solution`."""
         x = np.asarray(x, dtype=float)
         values = {var.name: float(x[var.index]) for var in self.variables}
         return Solution(status=status, objective=self.recover_objective(x), values=values, x=x, info=dict(info))
 
-    def __repr__(self):  # pragma: no cover - debug helper
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (
             f"Model({self.name!r}, vars={self.num_vars}, "
             f"constraints={self.num_constraints}, "

@@ -10,7 +10,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.core.pipeline import Edge, Pipeline, Task
 from repro.core.profiles import ModelVariant, ProfileRegistry

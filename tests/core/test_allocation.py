@@ -1,6 +1,5 @@
 """Tests for the hardware/accuracy-scaling MILP formulations (Section 4)."""
 
-import math
 
 import pytest
 

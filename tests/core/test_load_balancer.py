@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.allocation import AllocationProblem
 from repro.core.load_balancer import (
-    BackupEntry,
     LoadBalancer,
     MostAccurateFirst,
     RoutingEntry,

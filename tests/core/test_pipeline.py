@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.core.pipeline import AugmentedGraph, Edge, Pipeline, PipelineError, Task
+from repro.core.pipeline import Edge, Pipeline, PipelineError, Task
 from repro.core.profiles import ProfileRegistry
 
 from tests.conftest import make_variant

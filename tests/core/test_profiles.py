@@ -1,6 +1,5 @@
 """Tests for model-variant profiles and the profile registry."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Property-based tests for the core control plane (hypothesis)."""
 
-import math
 
 import pytest
 from hypothesis import assume, given, settings, strategies as st

@@ -14,11 +14,10 @@ demand drawn:
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.control.routing import ROUTING_POLICIES, make_routing_policy
-from repro.core.load_balancer import MostAccurateFirst, RoutingEntry, RoutingTable, WorkerState
+from repro.core.load_balancer import RoutingEntry, RoutingTable, WorkerState
 from repro.core.pipeline import Edge, Pipeline, Task
 from repro.core.profiles import ModelVariant, ProfileRegistry
 

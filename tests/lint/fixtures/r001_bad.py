@@ -1,0 +1,8 @@
+"""R001 fixture: an RNG seeded from OS entropy."""
+
+import numpy as np
+
+
+def make_stream():
+    rng = np.random.default_rng()
+    return rng

@@ -1,0 +1,7 @@
+"""R001 fixture: every stream derives from the run seed."""
+
+import numpy as np
+
+
+def make_stream(seed):
+    return np.random.default_rng(seed)

@@ -1,0 +1,7 @@
+"""R002 fixture: reading the host clock inside simulated code."""
+
+import time
+
+
+def stamp():
+    return time.perf_counter()

@@ -1,0 +1,5 @@
+"""R002 fixture: simulated time comes from the engine."""
+
+
+def stamp(engine):
+    return engine.now_s

@@ -1,0 +1,9 @@
+"""R003 fixture: iterating a set in hash order."""
+
+
+def order(workers):
+    active = {w.lower() for w in workers}
+    out = []
+    for w in active:
+        out.append(w)
+    return out

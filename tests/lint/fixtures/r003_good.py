@@ -1,0 +1,9 @@
+"""R003 fixture: sets are sorted before iteration."""
+
+
+def order(workers):
+    active = {w.lower() for w in workers}
+    out = []
+    for w in sorted(active):
+        out.append(w)
+    return out

@@ -1,0 +1,8 @@
+"""R004 fixture: per-element append inside a marked hot path."""
+
+
+# reprolint: hot-path
+def drain(rows, out):
+    for row in rows:
+        out.append(row)
+    return out

@@ -1,0 +1,7 @@
+"""R004 fixture: the hot path works on whole batches."""
+
+
+# reprolint: hot-path
+def drain(rows, out):
+    out.extend(rows)
+    return out

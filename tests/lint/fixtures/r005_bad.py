@@ -1,0 +1,6 @@
+"""R005 fixture: mutating a frozen control-plane view."""
+
+
+def tweak(ctx):
+    ctx.now_s = 0.0
+    return ctx

@@ -1,0 +1,7 @@
+"""R005 fixture: derive a new context instead of mutating."""
+
+import dataclasses
+
+
+def tweak(ctx):
+    return dataclasses.replace(ctx, now_s=0.0)

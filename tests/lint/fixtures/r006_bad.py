@@ -1,0 +1,8 @@
+"""R006 fixture: a policy still written against the legacy signature."""
+
+from repro.control.policies import AllocationPolicy
+
+
+class StaleAllocationPolicy(AllocationPolicy):
+    def allocate(self, now_s):
+        return None

@@ -1,0 +1,8 @@
+"""R006 fixture: a policy written against the ControlContext signature."""
+
+from repro.control.policies import AllocationPolicy
+
+
+class FreshAllocationPolicy(AllocationPolicy):
+    def allocate(self, ctx):
+        return None

@@ -1,0 +1,7 @@
+"""R007 fixture: an RNG draw that only happens in one dispatch mode."""
+
+
+def dispatch(self, rng):
+    if self.batched_dispatch:
+        return rng.random()
+    return 0.0

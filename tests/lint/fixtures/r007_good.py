@@ -1,0 +1,8 @@
+"""R007 fixture: both modes consume the stream identically."""
+
+
+def dispatch(self, rng):
+    draw = rng.random()
+    if self.batched_dispatch:
+        return draw * 2.0
+    return draw

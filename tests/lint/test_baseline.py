@@ -1,0 +1,117 @@
+"""Baseline round-trips: grandfathering, stale detection, note preservation."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Baseline, BaselineEntry, LintEngine
+from repro.lint.baseline import apply_baseline, write_baseline
+from repro.lint.registry import Finding
+
+
+def finding(rule="R002", path="src/x.py", line=3, code="return time.time()"):
+    return Finding(rule=rule, path=path, line=line, col=4, message="m", code=code)
+
+
+def test_matching_entry_grandfathers_the_finding():
+    base = Baseline(entries=[BaselineEntry("R002", "src/x.py", "return time.time()", "why")])
+    active, grand, stale = apply_baseline([finding()], base)
+    assert active == [] and len(grand) == 1 and stale == []
+
+
+def test_line_drift_does_not_break_the_match():
+    """Entries match on source text, not line numbers."""
+    base = Baseline(entries=[BaselineEntry("R002", "src/x.py", "return time.time()", "why")])
+    active, grand, stale = apply_baseline([finding(line=99)], base)
+    assert active == [] and len(grand) == 1 and stale == []
+
+
+def test_count_budget_caps_how_many_findings_one_entry_absorbs():
+    base = Baseline(
+        entries=[BaselineEntry("R002", "src/x.py", "return time.time()", "why", count=2)]
+    )
+    findings = [finding(line=n) for n in (3, 8, 21)]
+    active, grand, stale = apply_baseline(findings, base)
+    assert len(grand) == 2 and len(active) == 1
+    assert active[0].line == 21  # findings are consumed in sorted order
+
+
+def test_unmatched_entry_is_stale():
+    base = Baseline(entries=[BaselineEntry("R002", "src/gone.py", "time.time()", "why")])
+    active, grand, stale = apply_baseline([], base)
+    assert [e.path for e in stale] == ["src/gone.py"]
+
+
+def test_dump_load_roundtrip(tmp_path):
+    base = Baseline(
+        entries=[
+            BaselineEntry("R002", "src/x.py", "return time.time()", "why", count=2),
+            BaselineEntry("R004", "src/y.py", "out.append(v)", "reviewed"),
+        ]
+    )
+    path = tmp_path / "base.json"
+    base.dump(path)
+    loaded = Baseline.load(path)
+    assert sorted(e.key() for e in loaded.entries) == sorted(e.key() for e in base.entries)
+    assert {e.key(): e.count for e in loaded.entries} == {e.key(): e.count for e in base.entries}
+    assert {e.key(): e.note for e in loaded.entries} == {e.key(): e.note for e in base.entries}
+
+
+def test_load_rejects_unknown_version(tmp_path):
+    path = tmp_path / "base.json"
+    path.write_text(json.dumps({"version": 99, "entries": []}))
+    with pytest.raises(ValueError, match="version"):
+        Baseline.load(path)
+
+
+def test_write_baseline_preserves_existing_notes(tmp_path):
+    path = tmp_path / "base.json"
+    Baseline(
+        entries=[BaselineEntry("R002", "src/x.py", "return time.time()", "hand-written why")]
+    ).dump(path)
+    written = write_baseline([finding(), finding(rule="R004", code="out.append(v)")], path)
+    notes = {e.key(): e.note for e in written.entries}
+    assert notes[("R002", "src/x.py", "return time.time()")] == "hand-written why"
+    assert notes[("R004", "src/x.py", "out.append(v)")] == "TODO: justify"
+
+
+def test_engine_run_applies_the_baseline_end_to_end(tmp_path):
+    src = tmp_path / "mod.py"
+    src.write_text(
+        textwrap.dedent(
+            """\
+            import time
+
+
+            def stamp():
+                return time.perf_counter()
+            """
+        )
+    )
+    engine = LintEngine(root=tmp_path, select=["R002"], respect_scopes=False)
+    first = engine.run([src])
+    assert len(first.active) == 1
+
+    base = Baseline(
+        entries=[BaselineEntry("R002", "mod.py", first.active[0].code, "grandfathered")]
+    )
+    engine = LintEngine(
+        root=tmp_path, select=["R002"], baseline=base, respect_scopes=False
+    )
+    second = engine.run([src])
+    assert second.active == [] and len(second.grandfathered) == 1 and second.clean
+
+
+def test_committed_baseline_has_a_justification_for_every_entry():
+    """The repo's own baseline: every grandfathered finding carries a note."""
+    committed = Path(__file__).resolve().parents[2] / ".reprolint-baseline.json"
+    baseline = Baseline.load(committed)
+    assert baseline.entries, "committed baseline unexpectedly empty"
+    for entry in baseline.entries:
+        assert entry.note and "TODO" not in entry.note, (
+            f"baseline entry {entry.rule} {entry.path} lacks a real justification"
+        )

@@ -6,7 +6,7 @@ import pickle
 import pytest
 
 from repro.scenarios import ScenarioSpec, SweepRunner
-from repro.scenarios.sweep import MetricStats, _stats
+from repro.scenarios.sweep import _stats
 
 
 TINY = dict(

@@ -6,7 +6,6 @@ import pathlib
 import subprocess
 import sys
 
-import pytest
 
 SCRIPT = pathlib.Path(__file__).resolve().parents[2] / "scripts" / "bench_trend.py"
 

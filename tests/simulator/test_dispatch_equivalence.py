@@ -31,7 +31,7 @@ import numpy as np
 import pytest
 
 from repro.scenarios import FaultSpec, ScenarioSpec, get_scenario
-from repro.simulator import ServingSimulation, SimulationConfig
+from repro.simulator import SimulationConfig
 from repro.simulator.events import ArrivalBurstEvent, ArrivalEvent
 from repro.simulator.metrics import MetricsCollector
 from repro.simulator.query import Request

@@ -250,7 +250,7 @@ class TestChaosEngine:
         summary = get_scenario("chaos_stragglers").run(seed=0)
         assert summary.telemetry["faults.network_spikes"] == 1
         labels = [label for _, label in summary.fault_timeline]
-        assert any(l.startswith("net-spike:") for l in labels)
+        assert any(label.startswith("net-spike:") for label in labels)
         assert "net-spike-end" in labels
         assert _closure(summary) == summary.total_requests
 

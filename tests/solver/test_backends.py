@@ -4,9 +4,7 @@ All backends are exercised on the same small problem set so their answers can
 be cross-checked against each other and against hand-computed optima.
 """
 
-import math
 
-import numpy as np
 import pytest
 
 from repro.solver import (

@@ -1,20 +1,10 @@
 """Tests for the MILP modelling layer (variables, expressions, constraints)."""
 
-import math
 
 import numpy as np
 import pytest
 
-from repro.solver.model import (
-    INFEASIBLE,
-    OPTIMAL,
-    Constraint,
-    LinExpr,
-    Model,
-    Sense,
-    Solution,
-    Variable,
-)
+from repro.solver.model import INFEASIBLE, OPTIMAL, LinExpr, Model, Sense, Solution
 
 
 class TestVariable:

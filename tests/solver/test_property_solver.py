@@ -1,6 +1,5 @@
 """Property-based tests for the solver substrate (hypothesis)."""
 
-import math
 
 import numpy as np
 import pytest

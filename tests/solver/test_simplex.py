@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.solver.simplex import LinProgProblem, SimplexResult, SimplexSolver
+from repro.solver.simplex import LinProgProblem, SimplexSolver
 
 
 def solve(c, A_ub=(), b_ub=(), A_eq=(), b_eq=(), lb=None, ub=None):

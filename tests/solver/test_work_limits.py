@@ -11,7 +11,6 @@ had to restrict the batch grid to keep every solve under the wall clock).
 """
 
 import numpy as np
-import pytest
 
 from repro.core.allocation import AllocationProblem, build_accuracy_scaling_model
 from repro.solver import BranchAndBoundSolver, Model, OPTIMAL, ScipyMilpBackend, solve
